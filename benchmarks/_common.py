@@ -1,0 +1,57 @@
+"""Shared helpers for the per-figure/table benchmark harnesses.
+
+Every bench writes its paper-style table both to stdout and to
+``benchmarks/results/<name>.txt`` so the numbers recorded in
+EXPERIMENTS.md can be regenerated with
+``pytest benchmarks/ --benchmark-only``.
+
+Scale note: the paper's Section 7.3 simulations use the full AT&T
+backbone with 10 000 chains and CPLEX; this harness runs the identical
+formulations on the synthetic 25-PoP backbone with a reduced chain count
+so that SB-LP (which took the authors up to 3 hours) completes in
+seconds-to-minutes.  Trends, orderings, and gap magnitudes are the
+reproduction target, not absolute Gbps.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: Sequence[str] = (),
+) -> str:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    for note in notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines) + "\n"
+
+
+def emit(name: str, table: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print("\n" + table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(table)
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    if value == float("inf"):
+        return "inf"
+    return f"{value:.{digits}f}"

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""The customer portal: marketplace, activation, instant VNF insertion.
+
+Recreates the Section 2 customer experience (minus the webcam): browse
+the VNF catalog, activate a chain, watch traffic flow, then respond to
+"an emerging security threat" by instantly inserting an IDS into the
+live chain -- new connections take the extended chain while established
+connections keep their routes, per Section 5.3.
+
+Run:  python examples/portal_marketplace.py
+"""
+
+import random
+
+from repro.controller import (
+    ChainSpecification,
+    GlobalSwitchboard,
+    LocalSwitchboard,
+    Portal,
+)
+from repro.core.model import CloudSite, NetworkModel, VNF
+from repro.dataplane import DataPlane, FiveTuple, Packet
+from repro.edge import EdgeController, EdgeInstance
+from repro.vnf import IntrusionDetector, StatefulFirewall, VnfService
+
+
+def build_portal():
+    nodes = ["nyc", "chi", "sfo"]
+    latency = {("nyc", "chi"): 9.0, ("chi", "sfo"): 18.0, ("nyc", "sfo"): 26.0}
+    sites = [CloudSite(s.upper(), s, 500.0) for s in nodes]
+    vnfs = [
+        VNF("firewall", 1.0, {"NYC": 80.0, "CHI": 80.0}),
+        VNF("ids", 2.0, {"CHI": 120.0}),
+        VNF("nat", 0.5, {"CHI": 60.0, "SFO": 60.0}),
+    ]
+    model = NetworkModel(nodes, latency, sites, vnfs)
+    dp = DataPlane(random.Random(99))
+    gs = GlobalSwitchboard(model, dp)
+    for site in ("NYC", "CHI", "SFO"):
+        gs.register_local_switchboard(LocalSwitchboard(site, dp))
+    gs.register_vnf_service(
+        VnfService(
+            "firewall", 1.0, {"NYC": 80.0, "CHI": 80.0},
+            instance_factory=lambda n, s: StatefulFirewall(default_allow=True),
+        )
+    )
+    gs.register_vnf_service(
+        VnfService(
+            "ids", 2.0, {"CHI": 120.0},
+            instance_factory=lambda n, s: IntrusionDetector(
+                signatures=["MALWARE"], prevention=True
+            ),
+        )
+    )
+    gs.register_vnf_service(VnfService("nat", 0.5, {"CHI": 60.0, "SFO": 60.0}))
+
+    edge = EdgeController("enterprise-vpn")
+    hq = EdgeInstance("edge.NYC", "NYC", dp)
+    fleet = EdgeInstance("edge.SFO", "SFO", dp)
+    edge.register_instance(hq)
+    edge.register_instance(fleet)
+    edge.register_attachment("hq", "NYC")
+    edge.register_attachment("fleet-gw", "SFO")
+    gs.register_edge_service(edge)
+    fleet.attach_forwarder(gs.local_switchboard("SFO").forwarders[0].name)
+
+    portal = Portal(gs)
+    portal.describe_vnf("firewall", "stateful L4 firewall")
+    portal.describe_vnf("ids", "signature + port-scan intrusion prevention")
+    portal.describe_vnf("nat", "carrier-grade source NAT")
+    return portal, hq, fleet
+
+
+def main() -> None:
+    portal, hq, fleet = build_portal()
+
+    print("VNF marketplace:")
+    for entry in portal.catalog():
+        print(
+            f"  {entry.name:<9} sites={','.join(entry.sites):<9} "
+            f"capacity={entry.total_capacity:>5.0f}  {entry.description}"
+        )
+
+    status = portal.activate(
+        ChainSpecification(
+            "vehicles", "enterprise-vpn", "hq", "fleet-gw", ["firewall"],
+            forward_demand=10.0, reverse_demand=4.0,
+            src_prefix="10.1.0.0/16", dst_prefixes=["10.2.0.0/16"],
+        )
+    )
+    print(f"\nchain 'vehicles' activated: {status.state} -- {status.message}")
+
+    flow = FiveTuple("10.1.0.5", "10.2.0.9", "tcp", 40001, 443)
+    first = Packet(flow, payload="telemetry")
+    hq.ingress(first)
+    print(f"established connection path: {' -> '.join(first.trace)}")
+
+    # An emerging threat: the operator inserts the IDS instantly.
+    status = portal.insert_vnf("vehicles", "ids", position=1)
+    print(f"\nIDS inserted: chain is now {' -> '.join(status.vnfs)} "
+          f"({status.state})")
+
+    # New connections traverse the IDS.
+    clean = Packet(
+        FiveTuple("10.1.0.6", "10.2.0.9", "tcp", 40002, 443),
+        payload="telemetry",
+    )
+    hq.ingress(clean)
+    print(f"new clean connection:      {' -> '.join(clean.trace)}")
+
+    malicious = Packet(
+        FiveTuple("10.1.0.66", "10.2.0.9", "tcp", 40003, 443),
+        payload="xxMALWAREyy",
+    )
+    hq.ingress(malicious)
+    dropped = not any(e.startswith("edge.SFO") for e in malicious.trace)
+    print(f"malicious payload dropped by the IDS: {dropped}")
+
+    print("\nportal view:")
+    for chain in portal.list_chains():
+        print(
+            f"  {chain.name}: {chain.state}, "
+            f"{chain.ingress_site} -> {chain.egress_site} via "
+            f"{' -> '.join(chain.vnfs)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

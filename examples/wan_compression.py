@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Volume-changing VNFs: a WAN optimizer in a wide-area chain.
+
+The network model's per-stage demands (``w_cz``) exist because VNFs can
+change traffic volume mid-chain.  This example builds a
+firewall -> WAN-optimizer chain where the optimizer halves the bytes it
+forwards, and shows both halves of the story:
+
+- the *traffic engineering* half: the links downstream of the optimizer
+  carry half the load, which the TE accounts for when placing the VNFs;
+- the *data plane* half: packets shrink at the optimizer instance on the
+  forward path and are restored on the reverse path.
+
+Run:  python examples/wan_compression.py
+"""
+
+import random
+
+from repro.core.dp import route_chains_dp
+from repro.core.model import Chain, CloudSite, Link, NetworkModel, VNF
+from repro.dataplane import DataPlane, Forwarder, Packet, FiveTuple
+from repro.dataplane.forwarder import VnfInstance
+from repro.dataplane.rules import LoadBalancingRule, WeightedChoice
+from repro.vnf import Compressor, compressed_stage_demands
+
+
+def traffic_engineering_half() -> None:
+    print("traffic engineering with a compressing VNF")
+    forward, reverse = compressed_stage_demands(
+        base_forward=10.0, base_reverse=2.0, vnf_ratios=[None, 0.5]
+    )
+    print(f"  per-stage forward demand: {forward}")
+
+    nodes = ["hq", "pop", "branch"]
+    latency = {("hq", "pop"): 5.0, ("pop", "branch"): 35.0,
+               ("hq", "branch"): 38.0}
+    sites = [CloudSite("POP", "pop", 1000.0)]
+    vnfs = [
+        VNF("firewall", 1.0, {"POP": 500.0}),
+        VNF("wanopt", 1.0, {"POP": 500.0}),
+    ]
+    chain = Chain("branch-link", "hq", "branch",
+                  ["firewall", "wanopt"], forward, reverse)
+    links = [
+        Link("up", "hq", "pop", 100.0), Link("up-r", "pop", "hq", 100.0),
+        Link("wan", "pop", "branch", 100.0),
+        Link("wan-r", "branch", "pop", 100.0),
+    ]
+    routing = {
+        ("hq", "pop"): {"up": 1.0}, ("pop", "hq"): {"up-r": 1.0},
+        ("pop", "branch"): {"wan": 1.0}, ("branch", "pop"): {"wan-r": 1.0},
+    }
+    model = NetworkModel(nodes, latency, sites, vnfs, [chain],
+                         links, routing)
+    result = route_chains_dp(model)
+    traffic = result.solution.link_traffic()
+    print(f"  access link (hq->pop) carries : {traffic['up']:.1f} units")
+    print(f"  WAN link (pop->branch) carries: {traffic['wan']:.1f} units "
+          f"(halved by the optimizer)\n")
+
+
+def data_plane_half() -> None:
+    print("data plane through the compressor instance")
+    dp = DataPlane(random.Random(0))
+    fwd = dp.add_forwarder(Forwarder("f.pop", "POP"))
+    compressor = Compressor(0.5)
+    instance = VnfInstance("wanopt.1", "wanopt", "POP", transform=compressor)
+    fwd.attach(instance)
+
+    class Branch:
+        name = "branch"
+
+        def receive_from_chain(self, packet, came_from):
+            packet.record("branch")
+
+    dp.add_endpoint(Branch())
+    dp.add_endpoint(type("Hq", (), {
+        "name": "hq",
+        "receive_from_chain": lambda self, p, c: p.record("hq"),
+    })())
+    from repro.dataplane.labels import Labels
+
+    fwd.install_rule(1, "BR", LoadBalancingRule(
+        local_instances=WeightedChoice({"wanopt.1": 1.0}),
+        next_forwarders=WeightedChoice({"branch": 1.0}),
+    ))
+    packet = Packet(
+        FiveTuple("10.0.0.1", "10.9.0.1", "tcp", 5000, 443),
+        labels=Labels(1, "BR"),
+        size_bytes=1400,
+    )
+    dp.send_forward(packet, "f.pop", "hq")
+    print(f"  1400 B packet leaves the optimizer at {packet.size_bytes} B")
+    print(f"  forward-direction byte savings: {compressor.savings:.0%}")
+    reply = Packet(packet.flow.reversed(), labels=Labels(1, "BR"),
+                   size_bytes=packet.size_bytes)
+    dp.send_reverse(reply, "f.pop", "branch")
+    print(f"  reverse packet restored to {reply.size_bytes} B")
+
+
+def main() -> None:
+    traffic_engineering_half()
+    data_plane_half()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Reproduction of *Switchboard: A Middleware for Wide-Area Service Chaining*.
+
+Middleware '19, Sharma et al.  The package is organized as one subpackage
+per subsystem described in the paper:
+
+- :mod:`repro.core` -- Global Switchboard traffic engineering (network
+  model, SB-LP, SB-DP, baselines, capacity planning).
+- :mod:`repro.simnet` -- discrete-event simulation substrate used by the
+  control- and data-plane experiments.
+- :mod:`repro.topology` -- synthetic tier-1 backbone and workload
+  generators for the Section 7.3 simulations.
+- :mod:`repro.dataplane` -- Switchboard forwarders: flow tables, labels,
+  hierarchical load balancing, and the OVS/DPDK performance models.
+- :mod:`repro.bus` -- the global publish/subscribe message bus and the
+  full-mesh broadcast baseline.
+- :mod:`repro.edge` / :mod:`repro.vnf` -- edge and VNF platform services.
+- :mod:`repro.controller` -- Global/Local Switchboard controllers and the
+  chain-installation protocol (two-phase commit).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.model import (
+    Chain,
+    CloudSite,
+    Link,
+    NetworkModel,
+    VNF,
+)
+
+__all__ = [
+    "Chain",
+    "CloudSite",
+    "Link",
+    "NetworkModel",
+    "VNF",
+    "__version__",
+]

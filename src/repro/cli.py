@@ -1,0 +1,221 @@
+"""Command-line interface: quick experiments without writing a script.
+
+Usage::
+
+    python -m repro topology [--cities N]
+    python -m repro route [--chains N] [--coverage C] [--scheme all|dp|lp|anycast|compute-aware]
+    python -m repro cache [--shared/--siloed both by default]
+    python -m repro bus [--rate HZ] [--sites N]
+    python -m repro timing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.topology import build_backbone
+    from repro.topology.cities import DEFAULT_CITIES
+
+    cities = DEFAULT_CITIES[: args.cities]
+    backbone = build_backbone(cities)
+    lat = [v for v in backbone.latency.values() if v > 0]
+    print(f"PoPs           : {len(backbone.nodes)}")
+    print(f"directed links : {len(backbone.links)}")
+    print(f"one-way delay  : {min(lat):.1f} - {max(lat):.1f} ms")
+    tiers = sorted({l.bandwidth for l in backbone.links})
+    print(f"link tiers     : {', '.join(f'{t:g}' for t in tiers)} Gbps")
+    degrees = dict(backbone.graph.degree())
+    hub = max(degrees, key=degrees.get)
+    print(f"highest degree : {hub} ({degrees[hub]})")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.core.baselines import (
+        route_anycast,
+        route_compute_aware,
+        scale_to_capacity,
+    )
+    from repro.core.dp import route_chains_dp
+    from repro.core.lp import LpObjective, solve_chain_routing_lp
+    from repro.topology import WorkloadConfig, build_backbone, generate_workload
+    from repro.topology.cities import DEFAULT_CITIES
+
+    cities = DEFAULT_CITIES[: args.cities]
+    config = WorkloadConfig(
+        num_chains=args.chains,
+        num_vnfs=args.vnfs,
+        coverage=args.coverage,
+        total_traffic=args.traffic,
+        site_capacity=args.site_capacity,
+        cities=cities,
+        seed=args.seed,
+    )
+    model = generate_workload(config, build_backbone(cities))
+    offered = model.total_demand()
+    print(f"workload: {len(model.chains)} chains, {offered:.0f} units offered")
+
+    def report(name: str, solution, seconds: float) -> None:
+        print(
+            f"{name:<14} carried {solution.throughput():8.1f} "
+            f"({solution.throughput() / offered:5.1%})  "
+            f"latency {solution.mean_latency():6.1f} ms  "
+            f"[{seconds:.2f}s]"
+        )
+
+    scheme = args.scheme
+    if scheme in ("all", "dp"):
+        start = time.perf_counter()
+        dp = route_chains_dp(model)
+        report("SB-DP", dp.solution, time.perf_counter() - start)
+    if scheme in ("all", "lp"):
+        start = time.perf_counter()
+        lp = solve_chain_routing_lp(model, LpObjective.MAX_THROUGHPUT)
+        if not lp.ok:
+            print(f"SB-LP          {lp.status}")
+        else:
+            report("SB-LP", lp.solution, time.perf_counter() - start)
+    if scheme in ("all", "anycast"):
+        start = time.perf_counter()
+        solution = scale_to_capacity(route_anycast(model))
+        report("ANYCAST", solution, time.perf_counter() - start)
+    if scheme in ("all", "compute-aware"):
+        start = time.perf_counter()
+        solution = scale_to_capacity(route_compute_aware(model))
+        report("COMPUTE-AWARE", solution, time.perf_counter() - start)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.vnf.cache import run_cache_experiment
+
+    for shared in (True, False):
+        result = run_cache_experiment(
+            shared=shared,
+            num_chains=args.chains,
+            total_cache_objects=args.cache_objects,
+            catalog_objects=args.catalog,
+            popularity_spread=args.spread,
+        )
+        print(
+            f"{result.scheme:>7}: hit rate {result.hit_rate:6.2%}, "
+            f"mean download {result.mean_download_ms:6.2f} ms "
+            f"({result.requests} requests)"
+        )
+    return 0
+
+
+def _cmd_bus(args: argparse.Namespace) -> int:
+    from repro.bus import Topic, make_bus, make_full_mesh_bus
+
+    sites = [f"S{i}" for i in range(args.sites)]
+
+    def drive(make):
+        bus = make(sites, wan_delay_s=0.025, uplink_bps=8e6,
+                   uplink_buffer_bytes=400_000)
+        topic = Topic("c1", "e1", "G", "S0", "instances")
+        bus.attach("pub", "S0")
+        for site in sites[1:]:
+            for j in range(args.subscribers):
+                name = f"sub-{site}-{j}"
+                bus.attach(name, site)
+                bus.subscribe(name, topic)
+        for i in range(args.publishes):
+            bus.network.sim.schedule(
+                i / args.rate, bus.publish, "pub", topic, i
+            )
+        bus.network.run()
+        return bus.stats
+
+    proxy = drive(make_bus)
+    mesh = drive(make_full_mesh_bus)
+    for name, stats in (("bus", proxy), ("broadcast", mesh)):
+        print(
+            f"{name:>9}: delivered {stats.delivered:6d}, "
+            f"drops {stats.wan_drops:5d}, "
+            f"mean latency {stats.mean_latency() * 1e3:7.1f} ms"
+        )
+    if mesh.delivered:
+        print(
+            f"bus advantage: {mesh.mean_latency() / proxy.mean_latency():.1f}x "
+            f"latency, +{100 * (proxy.delivered / mesh.delivered - 1):.0f}% "
+            f"delivery"
+        )
+    return 0
+
+
+def _cmd_timing(args: argparse.Namespace) -> int:
+    from repro.controller.timing import (
+        simulate_chain_route_update,
+        simulate_edge_site_addition,
+    )
+
+    update = simulate_chain_route_update()
+    print(f"chain route update: {update.total_s * 1e3:.0f} ms total")
+    for m in update.milestones:
+        print(f"  {m.operation:<45} {m.duration_s * 1e3:5.0f} ms")
+    addition = simulate_edge_site_addition()
+    print(f"\nedge site addition: {addition.summed_durations_s * 1e3:.0f} ms "
+          f"(sum of operations)")
+    for m in addition.milestones:
+        print(f"  {m.operation:<48} {m.duration_s * 1e3:5.0f} ms")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Switchboard reproduction: quick experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("topology", help="summarize the synthetic backbone")
+    p.add_argument("--cities", type=int, default=25)
+    p.set_defaults(func=_cmd_topology)
+
+    p = sub.add_parser("route", help="compare TE schemes on a workload")
+    p.add_argument("--chains", type=int, default=40)
+    p.add_argument("--vnfs", type=int, default=12)
+    p.add_argument("--coverage", type=float, default=0.5)
+    p.add_argument("--traffic", type=float, default=6000.0)
+    p.add_argument("--site-capacity", type=float, default=7200.0)
+    p.add_argument("--cities", type=int, default=15)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--scheme",
+        choices=["all", "dp", "lp", "anycast", "compute-aware"],
+        default="all",
+    )
+    p.set_defaults(func=_cmd_route)
+
+    p = sub.add_parser("cache", help="the Table 3 shared-vs-siloed cache")
+    p.add_argument("--chains", type=int, default=5)
+    p.add_argument("--cache-objects", type=int, default=600)
+    p.add_argument("--catalog", type=int, default=6000)
+    p.add_argument("--spread", type=int, default=100)
+    p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser("bus", help="bus vs broadcast under load")
+    p.add_argument("--sites", type=int, default=10)
+    p.add_argument("--subscribers", type=int, default=5)
+    p.add_argument("--publishes", type=int, default=700)
+    p.add_argument("--rate", type=float, default=35.0)
+    p.set_defaults(func=_cmd_bus)
+
+    p = sub.add_parser("timing", help="control-plane latency breakdowns")
+    p.set_defaults(func=_cmd_timing)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

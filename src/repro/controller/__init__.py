@@ -1,0 +1,73 @@
+"""Switchboard's control plane (Sections 3-4).
+
+- :mod:`repro.controller.chainspec` -- the customer-facing chain
+  specification (what the portal of Section 2 submits).
+- :mod:`repro.controller.local_switchboard` -- the per-site controller:
+  scales forwarders, maps VNF instances onto forwarders, and compiles
+  wide-area routes plus instance weights into the forwarders'
+  load-balancing rules.
+- :mod:`repro.controller.global_switchboard` -- the centralized
+  controller: resolves chain endpoints with edge controllers, computes
+  wide-area routes (SB-DP incrementally, SB-LP on demand), allocates
+  labels, and installs routes atomically with a two-phase commit across
+  VNF controllers.
+- :mod:`repro.controller.timing` -- the timed (discrete-event) model of
+  the Figure 4 message flow, producing the Figure 10a route-update
+  latency and the Table 2 edge-addition breakdown.
+"""
+
+from repro.controller.audit import audit_chain, audit_deployment
+from repro.controller.chainspec import ChainSpecification
+from repro.controller.failures import FailureReport, fail_site, restore_site
+from repro.controller.global_switchboard import (
+    ChainInstallation,
+    GlobalSwitchboard,
+    InstallationError,
+)
+from repro.controller.local_switchboard import LocalSwitchboard
+from repro.controller.portal import CatalogEntry, ChainStatus, Portal
+from repro.controller.protocol import (
+    BusDrivenInstaller,
+    InstallationTimeline,
+    ProtocolDelays,
+)
+from repro.controller.reoptimize import ReoptimizationReport, reoptimize
+from repro.controller.replication import (
+    ReplicatedStore,
+    checkpoint_installation,
+    restore_installations,
+)
+from repro.controller.timing import (
+    ControlPlaneLatencies,
+    Milestone,
+    simulate_chain_route_update,
+    simulate_edge_site_addition,
+)
+
+__all__ = [
+    "BusDrivenInstaller",
+    "CatalogEntry",
+    "ChainStatus",
+    "Portal",
+    "audit_chain",
+    "audit_deployment",
+    "ChainInstallation",
+    "ChainSpecification",
+    "ControlPlaneLatencies",
+    "InstallationTimeline",
+    "ProtocolDelays",
+    "FailureReport",
+    "GlobalSwitchboard",
+    "InstallationError",
+    "LocalSwitchboard",
+    "Milestone",
+    "ReoptimizationReport",
+    "ReplicatedStore",
+    "checkpoint_installation",
+    "fail_site",
+    "reoptimize",
+    "restore_installations",
+    "restore_site",
+    "simulate_chain_route_update",
+    "simulate_edge_site_addition",
+]

@@ -1,0 +1,71 @@
+"""Customer-facing chain specifications.
+
+This is what the portal of Section 2 submits: ingress/egress given as
+edge attachments (a customer edge router identifier, a VPN, ...) plus an
+optional traffic slice (prefixes, ports, protocol), the ordered VNF
+list, and a demand estimate used for the initial route computation
+("customer estimates for the initial chain deployment", Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+class SpecError(Exception):
+    """Raised on malformed chain specifications."""
+
+
+@dataclass(frozen=True)
+class ChainSpecification:
+    """A customer's chain request.
+
+    ``ingress_attachment`` / ``egress_attachment`` name attachment points
+    known to the edge service (resolved to sites by the edge controller).
+    ``dst_prefixes`` populate the per-customer egress routing table.
+    """
+
+    name: str
+    edge_service: str
+    ingress_attachment: str
+    egress_attachment: str
+    vnf_services: tuple[str, ...]
+    forward_demand: float = 1.0
+    reverse_demand: float = 0.0
+    src_prefix: str | None = None
+    dst_prefixes: tuple[str, ...] = field(default_factory=tuple)
+    protocol: str | None = None
+    dst_port_range: tuple[int, int] | None = None
+
+    def __init__(
+        self,
+        name: str,
+        edge_service: str,
+        ingress_attachment: str,
+        egress_attachment: str,
+        vnf_services: Sequence[str],
+        forward_demand: float = 1.0,
+        reverse_demand: float = 0.0,
+        src_prefix: str | None = None,
+        dst_prefixes: Sequence[str] = (),
+        protocol: str | None = None,
+        dst_port_range: tuple[int, int] | None = None,
+    ):
+        if not name:
+            raise SpecError("chain needs a name")
+        if forward_demand < 0 or reverse_demand < 0:
+            raise SpecError(f"chain {name!r}: negative demand")
+        if forward_demand + reverse_demand == 0:
+            raise SpecError(f"chain {name!r}: zero total demand")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "edge_service", edge_service)
+        object.__setattr__(self, "ingress_attachment", ingress_attachment)
+        object.__setattr__(self, "egress_attachment", egress_attachment)
+        object.__setattr__(self, "vnf_services", tuple(vnf_services))
+        object.__setattr__(self, "forward_demand", forward_demand)
+        object.__setattr__(self, "reverse_demand", reverse_demand)
+        object.__setattr__(self, "src_prefix", src_prefix)
+        object.__setattr__(self, "dst_prefixes", tuple(dst_prefixes))
+        object.__setattr__(self, "protocol", protocol)
+        object.__setattr__(self, "dst_port_range", dst_port_range)

@@ -1,0 +1,172 @@
+"""Failure handling for sites and VNF deployments.
+
+The paper defers failures to future work ("evaluate performance and
+cost metrics in case of network and compute failures", Section 7.3);
+this module implements the natural recovery flow on top of Global
+Switchboard:
+
+1. the failed site's compute disappears from the model, the VNF
+   services, and the incremental router's residual state;
+2. every installed chain with traffic through the site has its routing
+   rolled back and recomputed on the surviving capacity (the same
+   route-and-commit path used at creation, including two-phase commit);
+3. data-plane rules are recompiled.  Flow-table entries at surviving
+   forwarders are untouched, so connections that avoided the failed
+   site keep their affinity (Section 5.3 semantics); connections through
+   the failed site are the ones that must re-establish.
+
+Link failures are handled at the topology level (recompute the backbone
+without the link and re-route), exercised by the failure-recovery bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.model import CloudSite, VNF
+from repro.controller.global_switchboard import GlobalSwitchboard
+
+_EPS = 1e-9
+
+
+class FailureError(Exception):
+    """Raised on invalid failure operations."""
+
+
+@dataclass
+class FailureReport:
+    """Outcome of a site-failure recovery."""
+
+    site: str
+    #: chains that had traffic through the failed site.
+    affected_chains: list[str] = field(default_factory=list)
+    #: chain -> carried fraction before the failure.
+    carried_before: dict[str, float] = field(default_factory=dict)
+    #: chain -> carried fraction after recovery.
+    carried_after: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def fully_recovered(self) -> list[str]:
+        return [
+            c
+            for c in self.affected_chains
+            if self.carried_after.get(c, 0.0)
+            >= self.carried_before.get(c, 0.0) - _EPS
+        ]
+
+    @property
+    def degraded(self) -> list[str]:
+        return [
+            c
+            for c in self.affected_chains
+            if self.carried_after.get(c, 0.0)
+            < self.carried_before.get(c, 0.0) - _EPS
+        ]
+
+    def recovery_ratio(self) -> float:
+        """Restored fraction of the traffic that was affected."""
+        before = sum(self.carried_before.values())
+        after = sum(self.carried_after.values())
+        return after / before if before > 0 else 1.0
+
+
+def chains_through_site(gs: GlobalSwitchboard, site: str) -> list[str]:
+    """Installed chains with any stage flow into or out of a site."""
+    affected = []
+    for name in gs.installations:
+        chain = gs.model.chains[name]
+        for z in range(1, chain.num_stages + 1):
+            if any(
+                site in (src, dst)
+                for (src, dst) in gs.router.solution.stage_flows(name, z)
+            ):
+                affected.append(name)
+                break
+    return affected
+
+
+def fail_site(gs: GlobalSwitchboard, site: str) -> FailureReport:
+    """Fail a cloud site and re-route every affected chain.
+
+    The site's node keeps carrying transit traffic (the network is not
+    the thing that failed); only its compute goes away.  Chains whose
+    ingress or egress *node* is colocated with the site are unaffected
+    as endpoints -- edges are not cloud workloads.
+    """
+    if site not in gs.model.sites:
+        raise FailureError(f"unknown site {site!r}")
+
+    report = FailureReport(site)
+    report.affected_chains = chains_through_site(gs, site)
+    for name in report.affected_chains:
+        report.carried_before[name] = gs.router.solution.routed_fraction(name)
+
+    # (1) Remove the site's compute everywhere.
+    old_site = gs.model.sites[site]
+    gs.model.sites[site] = CloudSite(site, old_site.node, 0.0)
+    for vnf_name, vnf in list(gs.model.vnfs.items()):
+        if site in vnf.site_capacity:
+            caps = dict(vnf.site_capacity)
+            caps[site] = 0.0
+            gs.model.vnfs[vnf_name] = VNF(vnf.name, vnf.load_per_unit, caps)
+            gs.router.sync_vnf_capacity(vnf_name, site, 0.0)
+    for service in gs.vnf_services.values():
+        if site in service.site_capacity:
+            service.site_capacity[site] = 0.0
+
+    # (2) Roll back and recompute each affected chain.
+    for name in report.affected_chains:
+        installation = gs.installations[name]
+        # Release the chain's committed capacity at every site (a full
+        # re-route may choose entirely different sites).
+        for (vnf_name, committed_site), load in list(
+            installation.committed_load.items()
+        ):
+            gs.vnf_services[vnf_name].release(name, committed_site, load)
+        installation.committed_load = {}
+        gs.router.rollback(name)
+        try:
+            routed, committed = gs._route_and_commit(name)
+        except Exception:
+            routed, committed = 0.0, {}
+        installation.routed_fraction = routed
+        installation.committed_load = committed
+        report.carried_after[name] = routed
+        if routed > _EPS:
+            gs._assign_instances(installation)
+            gs._install_rules(installation)
+        else:
+            for local in gs.locals.values():
+                local.remove_chain_rules(
+                    installation.label, installation.egress_site
+                )
+    return report
+
+
+def restore_site(
+    gs: GlobalSwitchboard,
+    site: str,
+    site_capacity: float,
+    vnf_capacity: dict[str, float],
+) -> None:
+    """Bring a failed site back with the given capacities.
+
+    Installed chains are *not* automatically re-balanced onto it -- the
+    operator (or a periodic re-optimization, see
+    :mod:`repro.controller.reoptimize`) calls ``extend_chain`` for the
+    chains that should use the restored capacity, mirroring the paper's
+    new-flows-only route change semantics.
+    """
+    if site not in gs.model.sites:
+        raise FailureError(f"unknown site {site!r}")
+    node = gs.model.sites[site].node
+    gs.model.sites[site] = CloudSite(site, node, site_capacity)
+    for vnf_name, capacity in vnf_capacity.items():
+        vnf = gs.model.vnfs[vnf_name]
+        caps = dict(vnf.site_capacity)
+        caps[site] = capacity
+        gs.model.vnfs[vnf_name] = VNF(vnf.name, vnf.load_per_unit, caps)
+        service = gs.vnf_services.get(vnf_name)
+        if service is not None:
+            service.site_capacity[site] = capacity
+            service._committed.setdefault(site, 0.0)

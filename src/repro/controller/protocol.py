@@ -1,0 +1,558 @@
+"""The Figure 4 message flow as a discrete-event protocol on the bus.
+
+Where :mod:`repro.controller.timing` replays the paper's latency budget
+as fixed steps, this module makes the control-plane latency *emerge*
+from actual messages: Global Switchboard, the edge controller, the VNF
+controllers, and the Local Switchboards are hosts on a simulated
+network, the route/label and instance announcements travel over the
+real :class:`~repro.bus.bus.GlobalMessageBus`, and the two-phase commit
+is request/response RPC with wide-area propagation.
+
+The protocol drives the same state objects as the synchronous
+:meth:`GlobalSwitchboard.create_chain` -- it *is* the same installation,
+just spread over simulated time -- so a test can assert that the end
+state (routes, commitments, rules) is identical while the timeline
+reflects the deployment's geography.
+
+Message sequence (the numbered arrows of Figure 4):
+
+1. chain spec reaches Global Switchboard;
+2. GS resolves ingress/egress with the edge controller (RPC);
+3. GS computes the route and 2PCs capacity with each VNF controller on
+   it (prepare RPCs, then commit RPCs; a rejection triggers recompute);
+4. GS publishes the route + labels on the bus; edge and VNF controllers
+   configure/allocate and publish their instances;
+5. each Local Switchboard, having both the route and the instance info,
+   compiles and installs its site's rules (+ data-plane config delay).
+
+Installation completes when every site on the route has configured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bus.bus import GlobalMessageBus
+from repro.bus.topics import Topic
+from repro.controller.chainspec import ChainSpecification
+from repro.controller.global_switchboard import (
+    ChainInstallation,
+    GlobalSwitchboard,
+    InstallationError,
+)
+from repro.core.model import Chain
+from repro.simnet.network import LinkSpec
+
+_EPS = 1e-9
+
+
+class ProtocolError(Exception):
+    """Raised on invalid protocol configuration."""
+
+
+@dataclass(frozen=True)
+class ProtocolDelays:
+    """Processing times charged at each element (propagation comes from
+    the simulated network)."""
+
+    route_compute_s: float = 0.010
+    controller_processing_s: float = 0.005
+    instance_allocation_s: float = 0.020
+    rule_compute_s: float = 0.002
+    dataplane_config_s: float = 0.093
+
+
+@dataclass
+class InstallationTimeline:
+    """Timestamps of the Figure 4 milestones (simulated seconds)."""
+
+    requested_at: float = 0.0
+    sites_resolved_at: float | None = None
+    route_committed_at: float | None = None
+    route_published_at: float | None = None
+    #: site -> time its rules were fully installed.
+    site_configured_at: dict[str, float] = field(default_factory=dict)
+    completed_at: float | None = None
+    failed: str | None = None
+    installation: ChainInstallation | None = None
+
+    @property
+    def total_s(self) -> float:
+        if self.completed_at is None:
+            return float("inf")
+        return self.completed_at - self.requested_at
+
+
+class BusDrivenInstaller:
+    """Runs chain installations as timed message exchanges.
+
+    Construction wires one host per controller onto the bus network:
+    Global Switchboard at ``gs_site``, the edge controller at
+    ``edge_site``, one VNF-controller host per VNF service (at the
+    service's first deployment site), and one Local-Switchboard client
+    per cloud site (attached to the bus for route/instance topics).
+    """
+
+    def __init__(
+        self,
+        gs: GlobalSwitchboard,
+        bus: GlobalMessageBus,
+        gs_site: str,
+        edge_controller_site: str,
+        vnf_controller_sites: dict[str, str],
+        delays: ProtocolDelays | None = None,
+        wan_delay_s: dict[tuple[str, str], float] | float | None = None,
+    ):
+        self.gs = gs
+        self.bus = bus
+        self.network = bus.network
+        self.sim = bus.network.sim
+        self.delays = delays or ProtocolDelays()
+        self._wan_delay = wan_delay_s
+
+        host_sites: dict[str, str] = {}
+
+        def add_host(name: str, site: str) -> None:
+            if site not in bus.sites:
+                raise ProtocolError(f"unknown bus site {site!r}")
+            self.network.add_host(name, site=site)
+            host_sites[name] = site
+
+        self.gs_host = "ctrl.gs"
+        add_host(self.gs_host, gs_site)
+        self.edge_host = "ctrl.edge"
+        add_host(self.edge_host, edge_controller_site)
+        self.vnf_hosts: dict[str, str] = {}
+        for vnf_name, site in vnf_controller_sites.items():
+            host = f"ctrl.vnf.{vnf_name}"
+            add_host(host, site)
+            self.vnf_hosts[vnf_name] = host
+
+        # Direct control links between controllers carry the same WAN
+        # propagation as the inter-site bus links, so RPC latency is
+        # geography-dependent (same-site hosts use the LAN implicitly).
+        names = list(host_sites)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                site_a, site_b = host_sites[a], host_sites[b]
+                if site_a == site_b:
+                    continue
+                self.network.connect(
+                    a, b, LinkSpec(delay_s=self._delay_between(site_a, site_b))
+                )
+        # Local Switchboards are bus clients at their sites.
+        self.local_clients: dict[str, str] = {}
+        for site in gs.locals:
+            client = f"lsb.{site}"
+            bus.attach(client, site)
+            self.local_clients[site] = client
+        # The GS also speaks on the bus (publishing routes).
+        bus.attach("gsb.pub", gs_site)
+
+        self._pending: dict[str, _PendingInstall] = {}
+        self.network.host(self.gs_host).on_receive(self._gs_receive)
+        self.network.host(self.edge_host).on_receive(self._edge_receive)
+        for vnf_name, host in self.vnf_hosts.items():
+            self.network.host(host).on_receive(
+                self._make_vnf_receiver(vnf_name)
+            )
+
+    def _delay_between(self, site_a: str, site_b: str) -> float:
+        """One-way control-RPC delay between two sites.
+
+        Uses the explicit ``wan_delay_s`` if given; otherwise reads the
+        bus network's gateway->proxy link for the pair (the same WAN the
+        pub/sub traffic crosses); falls back to 20 ms.
+        """
+        if isinstance(self._wan_delay, (int, float)):
+            return float(self._wan_delay)
+        if isinstance(self._wan_delay, dict):
+            if (site_a, site_b) in self._wan_delay:
+                return self._wan_delay[(site_a, site_b)]
+            if (site_b, site_a) in self._wan_delay:
+                return self._wan_delay[(site_b, site_a)]
+        from repro.bus.bus import gateway_name, proxy_name
+
+        link = self.network._links.get(
+            (gateway_name(site_a), proxy_name(site_b))
+        )
+        if link is not None:
+            return link.spec.delay_s
+        return 0.020
+
+    # -- public API ------------------------------------------------------
+
+    def install(
+        self,
+        spec: ChainSpecification,
+        on_complete: Callable[[InstallationTimeline], None] | None = None,
+    ) -> InstallationTimeline:
+        """Start an installation; returns its (live) timeline object.
+
+        Run the simulator (``installer.network.run()``) to drive it to
+        completion; the timeline fills in as milestones pass.
+        """
+        timeline = InstallationTimeline(requested_at=self.sim.now)
+        self._pending[spec.name] = _PendingInstall(spec, timeline, on_complete)
+        # Arrow 0: the portal's request reaches Global Switchboard.
+        self.sim.schedule(
+            0.0,
+            self.network.send,
+            "gsb.pub",
+            self.gs_host,
+            {"type": "chain_request", "chain": spec.name},
+        )
+        return timeline
+
+    # -- Global Switchboard host -------------------------------------------
+
+    def _gs_receive(self, sender: str, message: dict) -> None:
+        handler = {
+            "chain_request": self._on_chain_request,
+            "sites_resolved": self._on_sites_resolved,
+            "prepare_ack": self._on_prepare_ack,
+            "commit_ack": self._on_commit_ack,
+        }.get(message.get("type"))
+        if handler is not None:
+            handler(message)
+
+    def _on_chain_request(self, message: dict) -> None:
+        pending = self._pending[message["chain"]]
+        # Arrow 1: resolve ingress/egress sites with the edge controller.
+        self.sim.schedule(
+            self.delays.controller_processing_s,
+            self.network.send,
+            self.gs_host,
+            self.edge_host,
+            {
+                "type": "resolve_sites",
+                "chain": pending.spec.name,
+                "ingress": pending.spec.ingress_attachment,
+                "egress": pending.spec.egress_attachment,
+            },
+        )
+
+    def _edge_receive(self, sender: str, message: dict) -> None:
+        if message.get("type") == "resolve_sites":
+            pending = self._pending[message["chain"]]
+            edge = self.gs.edge_controllers[pending.spec.edge_service]
+            reply = {
+                "type": "sites_resolved",
+                "chain": message["chain"],
+                "ingress_site": edge.resolve_site(message["ingress"]),
+                "egress_site": edge.resolve_site(message["egress"]),
+            }
+            self.sim.schedule(
+                self.delays.controller_processing_s,
+                self.network.send,
+                self.edge_host,
+                self.gs_host,
+                reply,
+            )
+        elif message.get("type") == "configure_edge":
+            pending = self._pending[message["chain"]]
+            installation = pending.timeline.installation
+            edge = self.gs.edge_controllers[pending.spec.edge_service]
+            self.gs._configure_edges(installation, edge)
+
+    def _on_sites_resolved(self, message: dict) -> None:
+        pending = self._pending[message["chain"]]
+        pending.timeline.sites_resolved_at = self.sim.now
+        pending.ingress_site = message["ingress_site"]
+        pending.egress_site = message["egress_site"]
+
+        # Arrow 2: route computation (charged compute time), then 2PC.
+        def compute() -> None:
+            spec = pending.spec
+            chain = Chain(
+                spec.name,
+                self.gs.model.endpoint_node(pending.ingress_site),
+                self.gs.model.endpoint_node(pending.egress_site),
+                spec.vnf_services,
+                spec.forward_demand,
+                spec.reverse_demand,
+            )
+            try:
+                self.gs.model.add_chain(chain)
+            except Exception as exc:
+                self._fail(pending, str(exc))
+                return
+            self._recompute_route(pending)
+
+        self.sim.schedule(self.delays.route_compute_s, compute)
+
+    def _recompute_route(self, pending: "_PendingInstall") -> None:
+        """Route (or re-route after a rejection) and start the 2PC."""
+        spec = pending.spec
+        try:
+            routed = self.gs.router.route(spec.name)
+            if routed <= _EPS:
+                raise InstallationError(
+                    f"no feasible route for chain {spec.name!r}"
+                )
+        except Exception as exc:
+            self.gs.model.remove_chain(spec.name)
+            self._fail(pending, str(exc))
+            return
+        pending.loads = self.gs._chain_loads(spec.name)
+        pending.awaiting_prepare = set(pending.loads)
+        if not pending.awaiting_prepare:
+            self._publish_route(pending)
+            return
+        for (vnf_name, site), load in pending.loads.items():
+            self.sim.schedule(
+                0.0,
+                self.network.send,
+                self.gs_host,
+                self.vnf_hosts[vnf_name],
+                {
+                    "type": "prepare",
+                    "chain": spec.name,
+                    "vnf": vnf_name,
+                    "site": site,
+                    "load": load,
+                },
+            )
+
+    def _make_vnf_receiver(self, vnf_name: str):
+        def receive(sender: str, message: dict) -> None:
+            kind = message.get("type")
+            service = self.gs.vnf_services[vnf_name]
+            if kind == "prepare":
+                ok = service.prepare(
+                    message["chain"], message["site"], message["load"]
+                )
+                self.sim.schedule(
+                    self.delays.controller_processing_s,
+                    self.network.send,
+                    self.vnf_hosts[vnf_name],
+                    self.gs_host,
+                    {**message, "type": "prepare_ack", "ok": ok},
+                )
+            elif kind == "commit":
+                service.commit(message["chain"], message["site"])
+                self.sim.schedule(
+                    self.delays.controller_processing_s,
+                    self.network.send,
+                    self.vnf_hosts[vnf_name],
+                    self.gs_host,
+                    {**message, "type": "commit_ack"},
+                )
+            elif kind == "abort":
+                service.abort(message["chain"], message["site"])
+            elif kind == "allocate":
+                # Arrow 4: allocate instances and publish them on the bus.
+                def publish() -> None:
+                    pending = self._pending[message["chain"]]
+                    self._publish_instances(pending, vnf_name, message["site"])
+
+                self.sim.schedule(self.delays.instance_allocation_s, publish)
+
+        return receive
+
+    def _on_prepare_ack(self, message: dict) -> None:
+        pending = self._pending[message["chain"]]
+        key = (message["vnf"], message["site"])
+        if not message["ok"]:
+            # Rejection: abort the other reservations, reconcile the
+            # rejecting VNF's reported capacity, roll the route back, and
+            # recompute -- the Section 3 step-2 retry, as in the
+            # synchronous path.
+            for vnf_name, site in pending.awaiting_prepare - {key}:
+                self.network.send(
+                    self.gs_host,
+                    self.vnf_hosts[vnf_name],
+                    {"type": "abort", "chain": pending.spec.name,
+                     "vnf": vnf_name, "site": site},
+                )
+            self.gs.router.rollback(pending.spec.name)
+            pending.commit_attempts += 1
+            if pending.commit_attempts >= GlobalSwitchboard.MAX_COMMIT_ATTEMPTS:
+                self.gs.model.remove_chain(pending.spec.name)
+                self._fail(pending, f"2PC rejected by {key}")
+                return
+            vnf_name, site = key
+            service = self.gs.vnf_services[vnf_name]
+            self.gs.router.sync_vnf_capacity(
+                vnf_name, site, service.available(site)
+            )
+            self.sim.schedule(
+                self.delays.route_compute_s, self._recompute_route, pending
+            )
+            return
+        pending.awaiting_prepare.discard(key)
+        if not pending.awaiting_prepare:
+            pending.awaiting_commit = set(pending.loads)
+            for vnf_name, site in pending.loads:
+                self.network.send(
+                    self.gs_host,
+                    self.vnf_hosts[vnf_name],
+                    {"type": "commit", "chain": pending.spec.name,
+                     "vnf": vnf_name, "site": site},
+                )
+
+    def _on_commit_ack(self, message: dict) -> None:
+        pending = self._pending[message["chain"]]
+        pending.awaiting_commit.discard((message["vnf"], message["site"]))
+        if not pending.awaiting_commit:
+            pending.timeline.route_committed_at = self.sim.now
+            self._publish_route(pending)
+
+    # -- arrows 3-5: bus publications and rule installation ------------------
+
+    def _route_sites(self, pending: "_PendingInstall") -> set[str]:
+        """Every site that must install rules for the chain."""
+        chain = self.gs.model.chains[pending.spec.name]
+        sites = {pending.ingress_site}
+        for z in range(1, chain.num_stages):
+            for (_src, dst), frac in self.gs.router.solution.stage_flows(
+                pending.spec.name, z
+            ).items():
+                if frac > _EPS:
+                    sites.add(dst)
+        return sites
+
+    def _publish_route(self, pending: "_PendingInstall") -> None:
+        spec = pending.spec
+        label = self.gs.labels.allocate(spec.name)
+        installation = ChainInstallation(
+            spec, label, pending.ingress_site, pending.egress_site,
+            self.gs.router.solution.routed_fraction(spec.name),
+            pending.loads,
+        )
+        self.gs.installations[spec.name] = installation
+        pending.timeline.installation = installation
+        pending.timeline.route_published_at = self.sim.now
+        # The edge controller configures classifiers (arrow 4, edge side).
+        self.network.send(
+            self.gs_host,
+            self.edge_host,
+            {"type": "configure_edge", "chain": spec.name},
+        )
+        # Instance allocation requests to VNF controllers on the route.
+        involved: set[tuple[str, str]] = set(pending.loads)
+        pending.awaiting_instances = set(involved)
+        if not involved:
+            self._configure_sites(pending)
+            return
+        for vnf_name, site in involved:
+            self.network.send(
+                self.gs_host,
+                self.vnf_hosts[vnf_name],
+                {"type": "allocate", "chain": spec.name, "site": site},
+            )
+        # Local Switchboards subscribe for the instance announcements
+        # (the Section 6 topic layout: filters land at publisher sites).
+        pending.involved_topics = {
+            str(
+                Topic(
+                    chain=f"c{installation.label}",
+                    egress=pending.egress_site,
+                    vnf=vnf_name,
+                    site=vnf_site,
+                    kind="instances",
+                )
+            )
+            for vnf_name, vnf_site in involved
+        }
+        for site in self._route_sites(pending):
+            callback = self._make_local_callback(pending, site)
+            for raw in pending.involved_topics:
+                self.bus.subscribe(self.local_clients[site], raw, callback)
+
+    def _publish_instances(
+        self, pending: "_PendingInstall", vnf_name: str, site: str
+    ) -> None:
+        installation = pending.timeline.installation
+        self.gs._assign_instances(installation)
+        service = self.gs.vnf_services[vnf_name]
+        topic = Topic(
+            chain=f"c{installation.label}",
+            egress=pending.egress_site,
+            vnf=vnf_name,
+            site=site,
+            kind="instances",
+        )
+        # The VNF controller's local proxy fans this out to exactly the
+        # subscribed sites.
+        self.bus.publish(
+            "gsb.pub" if site not in self.bus.sites else self._bus_client(site),
+            topic,
+            {
+                "instances": [
+                    inst.name for inst in service.instances_at(site)
+                ]
+            },
+        )
+        pending.awaiting_instances.discard((vnf_name, site))
+
+    def _bus_client(self, site: str) -> str:
+        return self.local_clients.get(site, "gsb.pub")
+
+    def _make_local_callback(self, pending: "_PendingInstall", site: str):
+        def on_instances(topic: str, _payload) -> None:
+            if site in pending.timeline.site_configured_at:
+                return
+            seen = pending.seen_instance_info.setdefault(site, set())
+            seen.add(topic)
+            # Compile rules only once every involved VNF's instances are
+            # known (next-hop weights need the downstream assignments).
+            if seen < pending.involved_topics:
+                return
+
+            def configure() -> None:
+                installation = pending.timeline.installation
+                self.gs._install_rules(installation, only_site=site)
+                pending.timeline.site_configured_at[site] = self.sim.now
+                needed = self._route_sites(pending)
+                if needed <= set(pending.timeline.site_configured_at):
+                    pending.timeline.completed_at = self.sim.now
+                    if pending.on_complete is not None:
+                        pending.on_complete(pending.timeline)
+
+            self.sim.schedule(
+                self.delays.rule_compute_s + self.delays.dataplane_config_s,
+                configure,
+            )
+
+        return on_instances
+
+    def _configure_sites(self, pending: "_PendingInstall") -> None:
+        """VNF-less chain: configure the ingress site directly."""
+        installation = pending.timeline.installation
+
+        def configure() -> None:
+            self.gs._install_rules(installation)
+            now = self.sim.now
+            pending.timeline.site_configured_at[pending.ingress_site] = now
+            pending.timeline.completed_at = now
+            if pending.on_complete is not None:
+                pending.on_complete(pending.timeline)
+
+        self.sim.schedule(
+            self.delays.rule_compute_s + self.delays.dataplane_config_s,
+            configure,
+        )
+
+    def _fail(self, pending: "_PendingInstall", reason: str) -> None:
+        pending.timeline.failed = reason
+        if pending.on_complete is not None:
+            pending.on_complete(pending.timeline)
+
+
+@dataclass
+class _PendingInstall:
+    spec: ChainSpecification
+    timeline: InstallationTimeline
+    on_complete: Callable[[InstallationTimeline], None] | None
+    ingress_site: str = ""
+    egress_site: str = ""
+    commit_attempts: int = 0
+    loads: dict[tuple[str, str], float] = field(default_factory=dict)
+    awaiting_prepare: set[tuple[str, str]] = field(default_factory=set)
+    awaiting_commit: set[tuple[str, str]] = field(default_factory=set)
+    awaiting_instances: set[tuple[str, str]] = field(default_factory=set)
+    involved_topics: set[str] = field(default_factory=set)
+    #: site -> topics whose instance info has arrived there.
+    seen_instance_info: dict[str, set[str]] = field(default_factory=dict)

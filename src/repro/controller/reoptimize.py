@@ -1,0 +1,109 @@
+"""Periodic re-optimization under time-varying demand.
+
+Implements the routing side of the paper's future-work item on
+time-varying traffic matrices: given fresh per-chain demand estimates
+(from forwarder measurements, or from the diurnal model in
+:mod:`repro.topology.timeseries`), update the installed chains and
+recompute routes where the demand moved materially.
+
+Semantics follow Section 5.3: recomputation only changes where *new*
+connections go; existing flow-table entries at the forwarders are never
+touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.controller.global_switchboard import GlobalSwitchboard
+
+_EPS = 1e-9
+
+
+@dataclass
+class ReoptimizationReport:
+    """Outcome of one re-optimization round."""
+
+    rerouted: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    carried_before: float = 0.0
+    carried_after: float = 0.0
+    offered_after: float = 0.0
+
+    @property
+    def carried_share(self) -> float:
+        return (
+            self.carried_after / self.offered_after
+            if self.offered_after > 0
+            else 1.0
+        )
+
+
+def reoptimize(
+    gs: GlobalSwitchboard,
+    demand_factors: dict[str, float],
+    threshold: float = 0.05,
+) -> ReoptimizationReport:
+    """Apply new demand factors and re-route chains that changed.
+
+    ``demand_factors`` maps chain name -> multiplier relative to the
+    chain's demand *as installed*.  Chains whose factor moved less than
+    ``threshold`` from 1.0 keep their current routes (route churn is the
+    thing the threshold suppresses); the rest are rolled back and routed
+    afresh against the residual capacity, largest demand first so the
+    heavy hitters get first pick, then committed through the usual
+    two-phase protocol.
+    """
+    report = ReoptimizationReport()
+    for name in gs.installations:
+        report.carried_before += (
+            gs.router.solution.routed_fraction(name)
+            * gs.model.chains[name].stage_traffic(1)
+        )
+
+    changed: list[str] = []
+    for name, factor in demand_factors.items():
+        if name not in gs.installations:
+            raise KeyError(f"chain {name!r} is not installed")
+        if factor < 0:
+            raise ValueError(f"negative demand factor for {name!r}")
+        if abs(factor - 1.0) <= threshold:
+            report.skipped.append(name)
+            continue
+        changed.append(name)
+
+    # Release every changed chain first so the recomputation sees the
+    # full freed capacity, then re-route in descending demand order.
+    for name in changed:
+        installation = gs.installations[name]
+        for (vnf_name, site), load in list(installation.committed_load.items()):
+            gs.vnf_services[vnf_name].release(name, site, load)
+        installation.committed_load = {}
+        gs.router.rollback(name)
+        old_chain = gs.model.chains[name]
+        gs.model.remove_chain(name)
+        gs.model.add_chain(old_chain.scaled(demand_factors[name]))
+
+    changed.sort(
+        key=lambda n: gs.model.chains[n].stage_traffic(1), reverse=True
+    )
+    for name in changed:
+        installation = gs.installations[name]
+        try:
+            routed, committed = gs._route_and_commit(name)
+        except Exception:
+            routed, committed = 0.0, {}
+        installation.routed_fraction = routed
+        installation.committed_load = committed
+        if routed > _EPS:
+            gs._assign_instances(installation)
+            gs._install_rules(installation)
+        report.rerouted.append(name)
+
+    for name in gs.installations:
+        demand = gs.model.chains[name].stage_traffic(1)
+        report.offered_after += demand
+        report.carried_after += (
+            gs.router.solution.routed_fraction(name) * demand
+        )
+    return report

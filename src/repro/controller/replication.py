@@ -1,0 +1,254 @@
+"""Controller fault tolerance: a MUSIC-style replicated key-value store.
+
+Section 4.5: "We plan to support fault-tolerance of controllers using a
+replication recipe based on MUSIC, a resilient key-value store optimized
+for wide-area deployments."  This module implements that recipe's core:
+
+- a set of replicas (one per controller site) holding versioned entries;
+- **majority-quorum** writes and reads -- a write succeeds only if a
+  quorum of replicas accepted it, a read consults a quorum and returns
+  the highest version it sees (so any successful read observes any
+  successful write: the two quorums intersect);
+- read-repair: stale replicas touched by a read are brought up to date;
+- an **ownership lease** recipe (MUSIC's locking API) so exactly one
+  Global Switchboard instance acts as leader at a time, with takeover
+  after lease expiry;
+- checkpoint/restore helpers that persist Global Switchboard's chain
+  installations so a standby controller can rebuild its control state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.controller.chainspec import ChainSpecification
+from repro.controller.global_switchboard import ChainInstallation
+
+
+class ReplicationError(Exception):
+    """Raised on quorum loss or invalid store operations."""
+
+
+@dataclass
+class _Versioned:
+    version: int
+    value: Any
+
+
+@dataclass
+class Replica:
+    """One store replica (a controller site)."""
+
+    name: str
+    alive: bool = True
+    data: dict[str, _Versioned] = field(default_factory=dict)
+
+
+@dataclass
+class _Lease:
+    owner: str
+    expires_at: float
+
+
+class ReplicatedStore:
+    """Quorum-replicated, versioned key-value store."""
+
+    def __init__(self, replica_names: list[str], quorum: int | None = None):
+        if not replica_names:
+            raise ReplicationError("need at least one replica")
+        if len(set(replica_names)) != len(replica_names):
+            raise ReplicationError("duplicate replica names")
+        self.replicas = {name: Replica(name) for name in replica_names}
+        self.quorum = (
+            quorum if quorum is not None else len(replica_names) // 2 + 1
+        )
+        if not 1 <= self.quorum <= len(replica_names):
+            raise ReplicationError(f"invalid quorum {self.quorum}")
+        self._next_version = 1
+        self.writes = 0
+        self.reads = 0
+        self.read_repairs = 0
+
+    # -- membership -----------------------------------------------------
+
+    def fail(self, name: str) -> None:
+        self._replica(name).alive = False
+
+    def recover(self, name: str) -> None:
+        """Bring a replica back (possibly with stale data: read-repair
+        heals it lazily)."""
+        self._replica(name).alive = True
+
+    def alive_count(self) -> int:
+        return sum(1 for r in self.replicas.values() if r.alive)
+
+    def _replica(self, name: str) -> Replica:
+        try:
+            return self.replicas[name]
+        except KeyError:
+            raise ReplicationError(f"unknown replica {name!r}") from None
+
+    # -- quorum operations ------------------------------------------------
+
+    def put(self, key: str, value: Any) -> int:
+        """Write a value; returns the committed version.
+
+        Raises :class:`ReplicationError` if fewer than a quorum of
+        replicas are alive (the write must not appear successful).
+        """
+        alive = [r for r in self.replicas.values() if r.alive]
+        if len(alive) < self.quorum:
+            raise ReplicationError(
+                f"write quorum lost: {len(alive)} alive < {self.quorum}"
+            )
+        version = self._next_version
+        self._next_version += 1
+        for replica in alive:
+            replica.data[key] = _Versioned(version, value)
+        self.writes += 1
+        return version
+
+    def get(self, key: str) -> Any:
+        """Quorum read: the highest-versioned value a quorum has seen."""
+        alive = [r for r in self.replicas.values() if r.alive]
+        if len(alive) < self.quorum:
+            raise ReplicationError(
+                f"read quorum lost: {len(alive)} alive < {self.quorum}"
+            )
+        self.reads += 1
+        best: _Versioned | None = None
+        for replica in alive[: max(self.quorum, len(alive))]:
+            entry = replica.data.get(key)
+            if entry is not None and (best is None or entry.version > best.version):
+                best = entry
+        if best is None:
+            return None
+        # Read-repair any alive replica that is stale.
+        for replica in alive:
+            entry = replica.data.get(key)
+            if entry is None or entry.version < best.version:
+                replica.data[key] = best
+                self.read_repairs += 1
+        return best.value
+
+    def delete(self, key: str) -> None:
+        """Delete by writing a tombstone (None)."""
+        self.put(key, None)
+
+    def keys(self, prefix: str = "") -> list[str]:
+        """Keys with live (non-tombstone) values under a prefix."""
+        alive = [r for r in self.replicas.values() if r.alive]
+        if len(alive) < self.quorum:
+            raise ReplicationError("read quorum lost")
+        candidates: set[str] = set()
+        for replica in alive:
+            candidates.update(
+                k for k in replica.data if k.startswith(prefix)
+            )
+        return sorted(k for k in candidates if self.get(k) is not None)
+
+    # -- leader lease (the MUSIC locking recipe) ----------------------------
+
+    LEASE_KEY = "/leader-lease"
+
+    def acquire_lease(self, owner: str, now: float, duration: float) -> bool:
+        """Try to become (or stay) leader until ``now + duration``."""
+        current: _Lease | None = self.get(self.LEASE_KEY)
+        if current is not None and current.owner != owner and current.expires_at > now:
+            return False
+        self.put(self.LEASE_KEY, _Lease(owner, now + duration))
+        return True
+
+    def leader(self, now: float) -> str | None:
+        """The current leaseholder, or None if the lease has expired."""
+        current: _Lease | None = self.get(self.LEASE_KEY)
+        if current is None or current.expires_at <= now:
+            return None
+        return current.owner
+
+    def release_lease(self, owner: str) -> None:
+        current: _Lease | None = self.get(self.LEASE_KEY)
+        if current is not None and current.owner == owner:
+            self.put(self.LEASE_KEY, None)
+
+
+# ---------------------------------------------------------------------------
+# Global Switchboard checkpointing
+# ---------------------------------------------------------------------------
+
+_CHAIN_PREFIX = "/chains/"
+
+
+def checkpoint_installation(
+    store: ReplicatedStore, installation: ChainInstallation
+) -> None:
+    """Persist one chain installation (called after create/extend)."""
+    spec = installation.spec
+    record = {
+        "spec": {
+            "name": spec.name,
+            "edge_service": spec.edge_service,
+            "ingress_attachment": spec.ingress_attachment,
+            "egress_attachment": spec.egress_attachment,
+            "vnf_services": list(spec.vnf_services),
+            "forward_demand": spec.forward_demand,
+            "reverse_demand": spec.reverse_demand,
+            "src_prefix": spec.src_prefix,
+            "dst_prefixes": list(spec.dst_prefixes),
+            "protocol": spec.protocol,
+            "dst_port_range": spec.dst_port_range,
+        },
+        "label": installation.label,
+        "ingress_site": installation.ingress_site,
+        "egress_site": installation.egress_site,
+        "routed_fraction": installation.routed_fraction,
+        "committed_load": {
+            f"{vnf}@{site}": load
+            for (vnf, site), load in installation.committed_load.items()
+        },
+        "extra_edge_sites": list(installation.extra_edge_sites),
+    }
+    store.put(_CHAIN_PREFIX + spec.name, record)
+
+
+def remove_checkpoint(store: ReplicatedStore, chain_name: str) -> None:
+    store.delete(_CHAIN_PREFIX + chain_name)
+
+
+def restore_installations(store: ReplicatedStore) -> dict[str, ChainInstallation]:
+    """Rebuild every checkpointed installation (for a standby controller)."""
+    installations: dict[str, ChainInstallation] = {}
+    for key in store.keys(_CHAIN_PREFIX):
+        record = store.get(key)
+        if record is None:
+            continue
+        spec_data = record["spec"]
+        spec = ChainSpecification(
+            spec_data["name"],
+            spec_data["edge_service"],
+            spec_data["ingress_attachment"],
+            spec_data["egress_attachment"],
+            spec_data["vnf_services"],
+            forward_demand=spec_data["forward_demand"],
+            reverse_demand=spec_data["reverse_demand"],
+            src_prefix=spec_data["src_prefix"],
+            dst_prefixes=spec_data["dst_prefixes"],
+            protocol=spec_data["protocol"],
+            dst_port_range=spec_data["dst_port_range"],
+        )
+        committed = {
+            tuple(key.split("@", 1)): load
+            for key, load in record["committed_load"].items()
+        }
+        installation = ChainInstallation(
+            spec,
+            record["label"],
+            record["ingress_site"],
+            record["egress_site"],
+            record["routed_fraction"],
+            committed,
+            list(record["extra_edge_sites"]),
+        )
+        installations[spec.name] = installation
+    return installations

@@ -1,0 +1,195 @@
+"""Timed models of the control-plane message flows (Section 7.1).
+
+The logical work of chain installation is in
+:mod:`repro.controller.global_switchboard`; what the paper *measures* in
+Section 7.1 is the wall-clock latency of the message sequences, driven
+by wide-area propagation and data-plane configuration times.  This
+module replays those sequences on the discrete-event simulator with a
+configurable latency budget:
+
+- :func:`simulate_chain_route_update` -- the Figure 10a experiment: the
+  end-to-end latency of adding a new route to a live chain (the paper
+  measures 595 ms on its testbed).
+- :func:`simulate_edge_site_addition` -- the Table 2 experiment: the
+  six-step latency breakdown of grafting a new edge site onto a chain
+  (paper total: 567 ms, "below 600 ms").
+
+Defaults are calibrated to the paper's testbed numbers; the benches
+print paper-vs-model tables and EXPERIMENTS.md records the deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simnet.events import Simulator
+
+
+@dataclass(frozen=True)
+class ControlPlaneLatencies:
+    """Latency budget for control-plane operations (seconds).
+
+    The bus propagation entries correspond to one-way publish-to-receive
+    latencies between the relevant sites (proxy hops included); the
+    data-plane configuration entries are the OVS/DPDK rule- and
+    tunnel-installation times the paper observes on its CPE and cloud
+    forwarders.
+    """
+
+    #: RPC one-way latency between Global Switchboard and a controller.
+    gs_rpc_oneway_s: float = 0.020
+    #: Route computation at Global Switchboard (SB-DP is milliseconds).
+    route_compute_s: float = 0.010
+    #: Per-phase processing at a VNF controller during 2PC.
+    twopc_processing_s: float = 0.005
+    #: Bus propagation: first VNF's info to the edge site's forwarder.
+    bus_vnf_info_to_edge_s: float = 0.063
+    #: Bus propagation: edge forwarder's info to the first VNF's forwarder.
+    bus_edge_info_to_vnf_s: float = 0.074
+    #: Local Switchboard rule computation (in-memory; the paper's 0 ms row).
+    local_sb_compute_s: float = 0.0
+    #: Data-plane configuration at the edge-site forwarder (rules + tunnel).
+    edge_dataplane_config_s: float = 0.093
+    #: Delay before the VNF-side forwarder starts configuring (message
+    #: aggregation at Local Switchboard + tunnel negotiation start).
+    vnf_config_start_s: float = 0.233
+    #: Data-plane configuration at the VNF-side forwarder.
+    vnf_dataplane_config_s: float = 0.104
+    #: Edge/VNF controllers allocating instances and publishing them.
+    allocation_publish_s: float = 0.040
+
+
+@dataclass
+class Milestone:
+    """One step of a control-plane operation."""
+
+    operation: str
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class Timeline:
+    """An executed sequence of milestones."""
+
+    milestones: list[Milestone] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return max((m.end_s for m in self.milestones), default=0.0)
+
+    @property
+    def summed_durations_s(self) -> float:
+        return sum(m.duration_s for m in self.milestones)
+
+    def duration_of(self, operation: str) -> float:
+        for m in self.milestones:
+            if m.operation == operation:
+                return m.duration_s
+        raise KeyError(operation)
+
+
+def _run_steps(steps: list[tuple[str, float]]) -> Timeline:
+    """Execute sequential steps on the simulator and record milestones."""
+    sim = Simulator()
+    timeline = Timeline()
+
+    def fire(index: int) -> None:
+        if index >= len(steps):
+            return
+        name, duration = steps[index]
+        start = sim.now
+
+        def finish() -> None:
+            timeline.milestones.append(Milestone(name, start, sim.now))
+            fire(index + 1)
+
+        sim.schedule(duration, finish)
+
+    fire(0)
+    sim.run()
+    return timeline
+
+
+def simulate_chain_route_update(
+    latencies: ControlPlaneLatencies | None = None,
+) -> Timeline:
+    """The Figure 10a flow: add a new wide-area route to a live chain.
+
+    Sequence: the route request reaches Global Switchboard, the route is
+    recomputed, capacity is two-phase committed with the VNF controller
+    at the new site (two RPC round trips), routes and labels propagate
+    over the bus, controllers allocate instances and publish them, Local
+    Switchboards compile rules, and both ends configure their data
+    planes.
+    """
+    lat = latencies or ControlPlaneLatencies()
+    rtt = 2 * lat.gs_rpc_oneway_s
+    shared = [
+        ("route request reaches Global Switchboard", lat.gs_rpc_oneway_s),
+        ("route recomputation (SB-DP)", lat.route_compute_s),
+        ("2PC prepare at VNF controllers", rtt + lat.twopc_processing_s),
+        ("2PC commit at VNF controllers", rtt + lat.twopc_processing_s),
+        ("route/label propagation on the bus", lat.bus_vnf_info_to_edge_s),
+        ("instance allocation + publication", lat.allocation_publish_s),
+        ("instance info propagation on the bus", lat.bus_edge_info_to_vnf_s),
+        ("Local Switchboard rule computation", lat.local_sb_compute_s),
+    ]
+    # After the rules are computed, the edge-side and VNF-side data
+    # planes configure their tunnel ends concurrently (the two tracks of
+    # Table 2); the update completes when the slower track finishes.
+    edge_track = [("edge-side forwarder configuration", lat.edge_dataplane_config_s)]
+    vnf_track = [
+        ("VNF-side forwarder configuration start", lat.vnf_config_start_s - rtt),
+        ("VNF-side forwarder configuration", lat.vnf_dataplane_config_s),
+    ]
+    timeline = _run_steps(shared)
+    fork = timeline.total_s
+    for track in (edge_track, vnf_track):
+        at = fork
+        for name, duration in track:
+            timeline.milestones.append(Milestone(name, at, at + duration))
+            at += duration
+    return timeline
+
+
+def simulate_edge_site_addition(
+    latencies: ControlPlaneLatencies | None = None,
+) -> Timeline:
+    """The Table 2 flow: route traffic from a new edge site to the first
+    VNF of an existing chain.
+
+    The six steps mirror the table's rows: Local Switchboard picks the
+    first VNF's site from its replicated route state (0 ms), the edge
+    forwarder learns the first VNF's forwarder set and configures its
+    data plane, then the first VNF's forwarder learns the edge forwarder
+    and configures the other end of the tunnel.
+    """
+    lat = latencies or ControlPlaneLatencies()
+    steps = [
+        ("Local SB chooses the 1st VNF's site", lat.local_sb_compute_s),
+        ("Edge instance's fwrdr receives 1st VNF's info", lat.bus_vnf_info_to_edge_s),
+        ("Edge instance's fwrdr dataplane configured", lat.edge_dataplane_config_s),
+        ("1st VNF's fwrdr receives edge's fwrdr info", lat.bus_edge_info_to_vnf_s),
+        ("1st VNF's fwrdr starts dataplane configuration", lat.vnf_config_start_s),
+        ("1st VNF's fwrdr finishes configuration", lat.vnf_dataplane_config_s),
+    ]
+    return _run_steps(steps)
+
+
+#: The paper's Table 2, for comparison in tests/benches (milliseconds).
+PAPER_TABLE2_MS = {
+    "Local SB chooses the 1st VNF's site": 0.0,
+    "Edge instance's fwrdr receives 1st VNF's info": 63.0,
+    "Edge instance's fwrdr dataplane configured": 93.0,
+    "1st VNF's fwrdr receives edge's fwrdr info": 74.0,
+    "1st VNF's fwrdr starts dataplane configuration": 233.0,
+    "1st VNF's fwrdr finishes configuration": 104.0,
+}
+
+#: The paper's Figure 10a total route-update latency (milliseconds).
+PAPER_ROUTE_UPDATE_MS = 595.0

@@ -1,0 +1,489 @@
+"""SB-DP: the dynamic-programming routing heuristic of Section 4.4.
+
+For one chain, the algorithm builds the table ``E(z, s)`` -- the least
+cost of a route through the first ``z`` chain nodes that ends at site
+``s`` -- using the recurrence of Equation 8::
+
+    E(z + 1, s) = min over s' of E(z, s') + cost(s', z, s)
+
+where ``cost`` combines propagation latency, network-utilization cost,
+and compute-utilization cost, the utilization terms using a
+piecewise-linear convex penalty (Fortz--Thorup) that grows steeply above
+50% utilization.  The least-cost route is recovered by walking the table
+backwards from the egress.  If resource constraints let the route carry
+only part of the chain's traffic, the algorithm repeats on the residual
+capacities until the chain is fully routed or no capacity remains.
+
+Multi-chain workloads are routed sequentially, each chain seeing the
+utilization left behind by its predecessors -- this is the "computationally
+efficient routing heuristic" evaluated against SB-LP in Section 7.3.
+
+Two ablations from Figure 13a are expressed as configurations:
+
+- ``DpConfig.latency_only()`` -- DP-LATENCY: the cost function degenerates
+  to propagation delay (capacities are still *enforced*, they just do not
+  steer route choice).
+- ``DpConfig.one_hop()`` -- ONEHOP: the same cost function but applied
+  greedily one stage at a time instead of over the whole chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.costs import FORTZ_THORUP, PiecewiseLinearCost
+from repro.core.model import Chain, NetworkModel
+from repro.core.routes import RoutingSolution
+
+_EPS = 1e-9
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class DpConfig:
+    """Tuning knobs for :func:`route_chains_dp`.
+
+    ``utilization_weight`` scales the dimensionless utilization penalty
+    into latency units; ``None`` picks ``network diameter / penalty(1.0)``
+    so that a fully-utilized resource costs about one diameter crossing.
+    """
+
+    use_network_cost: bool = True
+    use_compute_cost: bool = True
+    per_hop: bool = False
+    utilization_weight: float | None = None
+    penalty: PiecewiseLinearCost = field(default=FORTZ_THORUP)
+    max_paths_per_chain: int = 64
+    sort_by_demand: bool = False
+
+    @staticmethod
+    def latency_only() -> "DpConfig":
+        """The DP-LATENCY ablation of Figure 13a."""
+        return DpConfig(use_network_cost=False, use_compute_cost=False)
+
+    @staticmethod
+    def one_hop() -> "DpConfig":
+        """The ONEHOP ablation of Figure 13a."""
+        return DpConfig(per_hop=True)
+
+
+class _ResourceState:
+    """Mutable residual-capacity state shared across sequentially routed
+    chains: VNF loads, site loads, and link loads."""
+
+    def __init__(self, model: NetworkModel):
+        self.model = model
+        self.vnf_load: dict[tuple[str, str], float] = {}
+        self.site_load: dict[str, float] = {}
+        self.link_load: dict[str, float] = {
+            name: link.background for name, link in model.links.items()
+        }
+
+    # -- residual capacities -------------------------------------------
+
+    def vnf_residual(self, vnf: str, site: str) -> float:
+        cap = self.model.vnfs[vnf].site_capacity.get(site, 0.0)
+        return cap - self.vnf_load.get((vnf, site), 0.0)
+
+    def site_residual(self, site: str) -> float:
+        return self.model.sites[site].capacity - self.site_load.get(site, 0.0)
+
+    def link_residual(self, link_name: str) -> float:
+        link = self.model.links[link_name]
+        return self.model.mlu_limit * link.bandwidth - self.link_load[link_name]
+
+    # -- utilizations ------------------------------------------------------
+
+    def vnf_utilization(self, vnf: str, site: str, extra: float = 0.0) -> float:
+        cap = self.model.vnfs[vnf].site_capacity.get(site, 0.0)
+        if cap <= 0:
+            return _INF
+        return (self.vnf_load.get((vnf, site), 0.0) + extra) / cap
+
+    def link_utilization(self, link_name: str, extra: float = 0.0) -> float:
+        link = self.model.links[link_name]
+        return (self.link_load[link_name] + extra) / link.bandwidth
+
+    # -- commits -------------------------------------------------------------
+
+    def commit_vnf(self, vnf: str, site: str, load: float) -> None:
+        self.vnf_load[(vnf, site)] = self.vnf_load.get((vnf, site), 0.0) + load
+        self.site_load[site] = self.site_load.get(site, 0.0) + load
+
+    def commit_link_traffic(self, n1: str, n2: str, volume: float) -> None:
+        """Add (or, with negative ``volume``, remove) traffic between two
+        nodes, spread over links by the routing fractions."""
+        if volume == 0:
+            return
+        for link_name, frac in self.model.links_between(n1, n2).items():
+            self.link_load[link_name] += volume * frac
+
+
+@dataclass
+class DpResult:
+    """Outcome of routing a workload with SB-DP."""
+
+    solution: RoutingSolution
+    #: chain name -> fraction of demand left unrouted (only chains with
+    #: a non-zero remainder appear).
+    unrouted: dict[str, float]
+    paths_computed: int
+
+    @property
+    def fully_routed(self) -> bool:
+        return not self.unrouted
+
+
+def route_chains_dp(
+    model: NetworkModel,
+    config: DpConfig | None = None,
+    chain_order: Iterable[str] | None = None,
+) -> DpResult:
+    """Route every chain in the model with the SB-DP heuristic."""
+    config = config or DpConfig()
+    router = _DpRouter(model, config)
+    if chain_order is None:
+        names = list(model.chains)
+        if config.sort_by_demand:
+            names.sort(
+                key=lambda n: model.chains[n].stage_traffic(1), reverse=True
+            )
+    else:
+        names = list(chain_order)
+        unknown = set(names) - set(model.chains)
+        if unknown:
+            raise KeyError(f"unknown chains in chain_order: {sorted(unknown)}")
+
+    solution = RoutingSolution(model)
+    unrouted: dict[str, float] = {}
+    for name in names:
+        remainder = router.route_chain(model.chains[name], solution)
+        if remainder > _EPS:
+            unrouted[name] = remainder
+    return DpResult(solution, unrouted, router.paths_computed)
+
+
+class _DpRouter:
+    """Routes chains one at a time against shared residual state."""
+
+    def __init__(self, model: NetworkModel, config: DpConfig):
+        self.model = model
+        self.config = config
+        self.state = _ResourceState(model)
+        self.paths_computed = 0
+        self._weight = self._resolve_utilization_weight()
+
+    def _resolve_utilization_weight(self) -> float:
+        if self.config.utilization_weight is not None:
+            return self.config.utilization_weight
+        diameter = 0.0
+        nodes = self.model.nodes
+        for n1 in nodes:
+            for n2 in nodes:
+                try:
+                    diameter = max(diameter, self.model.latency(n1, n2))
+                except Exception:
+                    continue
+        penalty_at_full = self.config.penalty(1.0)
+        if diameter <= 0 or penalty_at_full <= 0:
+            return 1.0
+        return diameter / penalty_at_full
+
+    # -- public per-chain entry point ------------------------------------
+
+    def route_chain(
+        self,
+        chain: Chain,
+        solution: RoutingSolution,
+        remaining: float = 1.0,
+    ) -> float:
+        """Route (up to) ``remaining`` of one chain's demand, committing
+        onto the shared state.
+
+        Returns the unrouted remainder fraction.
+        """
+        for _ in range(self.config.max_paths_per_chain):
+            if remaining <= _EPS:
+                break
+            path = self._find_path(chain, remaining)
+            self.paths_computed += 1
+            if path is None:
+                break
+            fraction = min(remaining, self._max_feasible_fraction(chain, path))
+            if fraction <= _EPS:
+                break
+            self._commit(chain, path, fraction)
+            solution.add_path(chain.name, path, fraction)
+            remaining -= fraction
+        return max(0.0, remaining)
+
+    # -- path search ----------------------------------------------------------
+
+    def _find_path(self, chain: Chain, pass_fraction: float) -> list[str] | None:
+        if self.config.per_hop:
+            return self._find_path_greedy(chain, pass_fraction)
+        return self._find_path_dp(chain, pass_fraction)
+
+    def _find_path_dp(self, chain: Chain, pass_fraction: float) -> list[str] | None:
+        """The Equation 8 table computation with parent backtracking."""
+        # Chain nodes 0 .. num_stages: node 0 is the ingress, node
+        # num_stages is the egress; node z (1-based) hosts VNF z.
+        prev_sites = [chain.ingress]
+        prev_cost = {chain.ingress: 0.0}
+        parents: list[dict[str, str]] = []
+
+        for z in range(1, chain.num_stages + 1):
+            dests = self.model.stage_destinations(chain, z)
+            cost: dict[str, float] = {}
+            parent: dict[str, str] = {}
+            for dst in dests:
+                best, best_src = _INF, None
+                for src in prev_sites:
+                    base = prev_cost.get(src, _INF)
+                    if base == _INF:
+                        continue
+                    step = self._transition_cost(chain, z, src, dst, pass_fraction)
+                    if base + step < best:
+                        best = base + step
+                        best_src = src
+                if best_src is not None:
+                    cost[dst] = best
+                    parent[dst] = best_src
+            if not cost:
+                return None
+            parents.append(parent)
+            prev_sites = list(cost)
+            prev_cost = cost
+
+        # Backtrack from the egress.
+        path = [chain.egress]
+        current = chain.egress
+        for parent in reversed(parents):
+            current = parent[current]
+            path.append(current)
+        path.reverse()
+        return path
+
+    def _find_path_greedy(
+        self, chain: Chain, pass_fraction: float
+    ) -> list[str] | None:
+        """ONEHOP: pick each next site by local cost only."""
+        path = [chain.ingress]
+        current = chain.ingress
+        for z in range(1, chain.num_stages + 1):
+            best, best_dst = _INF, None
+            for dst in self.model.stage_destinations(chain, z):
+                step = self._transition_cost(chain, z, current, dst, pass_fraction)
+                if step < best:
+                    best = step
+                    best_dst = dst
+            if best_dst is None:
+                return None
+            path.append(best_dst)
+            current = best_dst
+        return path
+
+    # -- cost function -----------------------------------------------------------
+
+    def _transition_cost(
+        self, chain: Chain, z: int, src: str, dst: str, pass_fraction: float
+    ) -> float:
+        """``cost(src, z-1, dst)`` in the paper's notation: latency +
+        network-utilization cost + compute-utilization cost of moving
+        stage-``z`` traffic from ``src`` to ``dst``."""
+        cost = self.model.site_latency(src, dst)
+        traffic = chain.stage_traffic(z) * pass_fraction
+
+        if z < chain.num_stages:
+            vnf = chain.vnf_at(z)
+            residual = self.state.vnf_residual(vnf, dst)
+            site_residual = self.state.site_residual(dst)
+            if residual <= _EPS or site_residual <= _EPS:
+                return _INF
+            if self.config.use_compute_cost:
+                # The VNF both receives stage-z and sends stage-(z+1)
+                # traffic; approximate the added load with twice the
+                # incoming demand (symmetric chains).
+                load = self.model.vnfs[vnf].load_per_unit * traffic * 2.0
+                util = self.state.vnf_utilization(vnf, dst, extra=load)
+                cost += self._weight * self.config.penalty(min(util, 2.0))
+
+        if self.config.use_network_cost and self.model.routing:
+            n1 = self.model.endpoint_node(src)
+            n2 = self.model.endpoint_node(dst)
+            fwd = chain.forward_traffic[z - 1] * pass_fraction
+            rev = chain.reverse_traffic[z - 1] * pass_fraction
+            for direction, volume in (((n1, n2), fwd), ((n2, n1), rev)):
+                if volume <= 0:
+                    continue
+                for link_name, frac in self.model.links_between(*direction).items():
+                    util = self.state.link_utilization(
+                        link_name, extra=volume * frac
+                    )
+                    cost += (
+                        self._weight
+                        * frac
+                        * self.config.penalty(min(util, 2.0))
+                    )
+        return cost
+
+    # -- feasibility and commit ------------------------------------------------------
+
+    def _max_feasible_fraction(self, chain: Chain, path: list[str]) -> float:
+        """Largest fraction of the chain's demand the path can carry given
+        residual VNF, site, and link capacities."""
+        max_fraction = 1.0
+
+        # Compute: each VNF node z (1 .. len(vnfs)) at path[z].  Demands
+        # are aggregated per (VNF, site) and per site first, so a path
+        # placing several VNFs at one site cannot overload it.
+        vnf_demand: dict[tuple[str, str], float] = {}
+        site_demand: dict[str, float] = {}
+        for z in range(1, chain.num_stages):
+            vnf = chain.vnf_at(z)
+            site = path[z]
+            per_unit = self.model.vnfs[vnf].load_per_unit * (
+                chain.stage_traffic(z) + chain.stage_traffic(z + 1)
+            )
+            if per_unit > 0:
+                key = (vnf, site)
+                vnf_demand[key] = vnf_demand.get(key, 0.0) + per_unit
+                site_demand[site] = site_demand.get(site, 0.0) + per_unit
+        for (vnf, site), per_unit in vnf_demand.items():
+            max_fraction = min(
+                max_fraction, self.state.vnf_residual(vnf, site) / per_unit
+            )
+        for site, per_unit in site_demand.items():
+            max_fraction = min(
+                max_fraction, self.state.site_residual(site) / per_unit
+            )
+
+        # Network: links along each stage hop.
+        if self.model.routing and self.model.links:
+            link_demand: dict[str, float] = {}
+            for z, (src, dst) in enumerate(zip(path, path[1:]), start=1):
+                n1 = self.model.endpoint_node(src)
+                n2 = self.model.endpoint_node(dst)
+                fwd = chain.forward_traffic[z - 1]
+                rev = chain.reverse_traffic[z - 1]
+                for direction, volume in (((n1, n2), fwd), ((n2, n1), rev)):
+                    if volume <= 0:
+                        continue
+                    for name, frac in self.model.links_between(*direction).items():
+                        link_demand[name] = link_demand.get(name, 0.0) + volume * frac
+            for name, per_unit in link_demand.items():
+                if per_unit > 0:
+                    max_fraction = min(
+                        max_fraction, self.state.link_residual(name) / per_unit
+                    )
+
+        return max(0.0, max_fraction)
+
+    def _commit(self, chain: Chain, path: list[str], fraction: float) -> None:
+        for z in range(1, chain.num_stages):
+            vnf = chain.vnf_at(z)
+            load = (
+                self.model.vnfs[vnf].load_per_unit
+                * (chain.stage_traffic(z) + chain.stage_traffic(z + 1))
+                * fraction
+            )
+            self.state.commit_vnf(vnf, path[z], load)
+        for z, (src, dst) in enumerate(zip(path, path[1:]), start=1):
+            n1 = self.model.endpoint_node(src)
+            n2 = self.model.endpoint_node(dst)
+            self.state.commit_link_traffic(
+                n1, n2, chain.forward_traffic[z - 1] * fraction
+            )
+            self.state.commit_link_traffic(
+                n2, n1, chain.reverse_traffic[z - 1] * fraction
+            )
+
+
+class IncrementalDpRouter:
+    """Route chains one at a time against persistent residual state.
+
+    This is the interface Global Switchboard uses operationally: chains
+    arrive over time, each is routed against the utilization left by the
+    chains already installed, and the accumulated
+    :class:`~repro.core.routes.RoutingSolution` always reflects the
+    currently installed routes.
+    """
+
+    def __init__(self, model: NetworkModel, config: DpConfig | None = None):
+        self.model = model
+        self.config = config or DpConfig()
+        self._router = _DpRouter(model, self.config)
+        self.solution = RoutingSolution(model)
+
+    def route(self, chain_name: str) -> float:
+        """Route one chain (must already be in the model).
+
+        Any demand already carried (a previous partial routing) is left
+        in place and only the remainder is attempted, so re-invoking
+        after new capacity appears implements the paper's dynamic route
+        addition.  Returns the total carried fraction.
+        """
+        chain = self.model.chains[chain_name]
+        remaining = max(0.0, 1.0 - self.solution.routed_fraction(chain_name))
+        self._router.route_chain(chain, self.solution, remaining)
+        return self.solution.routed_fraction(chain_name)
+
+    def rollback(self, chain_name: str) -> None:
+        """Undo a routed chain: release its VNF, site, and link load and
+        drop its flows from the accumulated solution.
+
+        Used when a two-phase commit is rejected by a VNF controller and
+        the route must be recomputed (Section 3, chain creation).
+        """
+        chain = self.model.chains[chain_name]
+        for z in range(1, chain.num_stages + 1):
+            for (src, dst), frac in self.solution.stage_flows(chain_name, z).items():
+                traffic = chain.stage_traffic(z) * frac
+                if z < chain.num_stages:
+                    vnf = chain.vnf_at(z)
+                    load = self.model.vnfs[vnf].load_per_unit * traffic
+                    self._router.state.commit_vnf(vnf, dst, -load)
+                if z > 1:
+                    vnf = chain.vnf_at(z - 1)
+                    load = self.model.vnfs[vnf].load_per_unit * traffic
+                    self._router.state.commit_vnf(vnf, src, -load)
+                n1 = self.model.endpoint_node(src)
+                n2 = self.model.endpoint_node(dst)
+                fwd = chain.forward_traffic[z - 1] * frac
+                rev = chain.reverse_traffic[z - 1] * frac
+                self._router.state.commit_link_traffic(n1, n2, -fwd)
+                self._router.state.commit_link_traffic(n2, n1, -rev)
+        self.solution.clear_chain(chain_name)
+
+    def sync_vnf_capacity(self, vnf_name: str, site: str, available: float) -> None:
+        """Reconcile the router's view of a VNF's remaining capacity at a
+        site with the capacity the VNF controller actually reports (used
+        after a two-phase-commit rejection)."""
+        current = self._router.state.vnf_residual(vnf_name, site)
+        if available < current:
+            extra = current - available
+            self._router.state.commit_vnf(vnf_name, site, extra)
+
+    def residual_vnf_capacity(self, vnf_name: str, site: str) -> float:
+        return self._router.state.vnf_residual(vnf_name, site)
+
+
+def dp_latency_config() -> DpConfig:
+    """Convenience alias for the DP-LATENCY ablation."""
+    return DpConfig.latency_only()
+
+
+def one_hop_config() -> DpConfig:
+    """Convenience alias for the ONEHOP ablation."""
+    return DpConfig.one_hop()
+
+
+__all__ = [
+    "DpConfig",
+    "DpResult",
+    "IncrementalDpRouter",
+    "dp_latency_config",
+    "one_hop_config",
+    "route_chains_dp",
+]

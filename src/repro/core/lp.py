@@ -1,0 +1,311 @@
+"""SB-LP: the linear-programming chain routing of Section 4.3.
+
+The decision variables are the paper's ``x_{c z n1 n2}`` -- the fraction
+of chain ``c``'s stage-``z`` demand routed from ``n1`` to ``n2`` -- and
+the formulation implements:
+
+- the weighted-latency objective (Equation 3),
+- per-site and per-(VNF, site) compute constraints (Equation 4),
+- flow conservation at every intermediate site (Equation 5),
+- the network-cost / MLU constraint over physical links (Equations 6-7).
+
+Two objectives are provided, matching how the paper uses SB-LP in its
+evaluation: ``MIN_LATENCY`` (Figure 12c and the E2E latency comparisons)
+requires all demand to be carried and minimizes Equation 3, while
+``MAX_THROUGHPUT`` (Figures 11/12a/12b) allows partial routing, maximizes
+carried demand, and breaks ties toward lower latency.
+
+The paper solves these programs with CPLEX inside OpenDaylight; we use
+``scipy.optimize.linprog`` (HiGHS), which solves the identical program.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import csr_matrix
+
+from repro.core.model import NetworkModel
+from repro.core.routes import RoutingSolution
+
+
+class LpError(Exception):
+    """Raised when the LP cannot be constructed."""
+
+
+class LpObjective(enum.Enum):
+    """Objective selection for :func:`solve_chain_routing_lp`.
+
+    ``MIN_MLU`` minimizes the maximum link utilization -- the network
+    operator's cost function of Section 4.1 ("a commonly used cost
+    function for traffic engineering") -- while routing all demand; it
+    turns the Equation 6 budget ``beta`` into the decision variable.
+    """
+
+    MIN_LATENCY = "min_latency"
+    MAX_THROUGHPUT = "max_throughput"
+    MIN_MLU = "min_mlu"
+
+
+@dataclass
+class LpResult:
+    """Outcome of an SB-LP solve."""
+
+    status: str
+    objective: float | None
+    solution: RoutingSolution | None
+    num_variables: int
+    num_constraints: int
+    solve_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "optimal"
+
+
+class _VariableSpace:
+    """Index map for the sparse ``x_{c z n1 n2}`` variables."""
+
+    def __init__(self, model: NetworkModel):
+        self.model = model
+        self.index: dict[tuple[str, int, str, str], int] = {}
+        self.vars: list[tuple[str, int, str, str]] = []
+        for name, chain in model.chains.items():
+            for z in range(1, chain.num_stages + 1):
+                for src in model.stage_sources(chain, z):
+                    for dst in model.stage_destinations(chain, z):
+                        key = (name, z, src, dst)
+                        self.index[key] = len(self.vars)
+                        self.vars.append(key)
+
+    def __len__(self) -> int:
+        return len(self.vars)
+
+
+def solve_chain_routing_lp(
+    model: NetworkModel,
+    objective: LpObjective = LpObjective.MIN_LATENCY,
+    enforce_mlu: bool = True,
+    latency_tiebreak: float = 1e-6,
+) -> LpResult:
+    """Solve the chain-routing problem optimally.
+
+    Parameters
+    ----------
+    model:
+        The network model.  All chains in ``model.chains`` are routed
+        jointly (this whole-network view is what distinguishes SB-LP from
+        the distributed baselines).
+    objective:
+        ``MIN_LATENCY`` or ``MAX_THROUGHPUT`` (see module docstring).
+    enforce_mlu:
+        Apply the Equation 6 link constraint when the model defines links
+        and routing fractions.
+    latency_tiebreak:
+        Relative weight of the latency term added to the max-throughput
+        objective so that, among equal-throughput solutions, the lowest
+        latency one is returned.
+    """
+    if not model.chains:
+        raise LpError("model has no chains to route")
+    if objective is LpObjective.MIN_MLU and not (model.links and model.routing):
+        raise LpError("MIN_MLU requires links and routing fractions")
+
+    space = _VariableSpace(model)
+    n = len(space)
+    # MIN_MLU adds the utilization variable beta after the flow variables.
+    beta_index = n if objective is LpObjective.MIN_MLU else None
+    n_total = n + (1 if beta_index is not None else 0)
+
+    cost = np.zeros(n_total)
+    demand_weight = np.zeros(n)  # (w_cz + v_cz) per variable
+    latencies = np.zeros(n)
+    for i, (cname, z, src, dst) in enumerate(space.vars):
+        chain = model.chains[cname]
+        demand_weight[i] = chain.stage_traffic(z)
+        latencies[i] = model.site_latency(src, dst)
+
+    weighted_latency = demand_weight * latencies
+
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    eq_rows: list[int] = []
+    eq_cols: list[int] = []
+    eq_data: list[float] = []
+    b_ub: list[float] = []
+    b_eq: list[float] = []
+
+    def add_ub(coeffs: dict[int, float], bound: float) -> None:
+        row = len(b_ub)
+        for col, val in coeffs.items():
+            rows.append(row)
+            cols.append(col)
+            data.append(val)
+        b_ub.append(bound)
+
+    def add_eq(coeffs: dict[int, float], value: float) -> None:
+        row = len(b_eq)
+        for col, val in coeffs.items():
+            eq_rows.append(row)
+            eq_cols.append(col)
+            eq_data.append(val)
+        b_eq.append(value)
+
+    # Demand-coverage constraints on stage-1 flows.
+    for cname, chain in model.chains.items():
+        coeffs: dict[int, float] = {}
+        for src in model.stage_sources(chain, 1):
+            for dst in model.stage_destinations(chain, 1):
+                coeffs[space.index[(cname, 1, src, dst)]] = 1.0
+        if objective is LpObjective.MAX_THROUGHPUT:
+            add_ub(coeffs, 1.0)
+        else:
+            add_eq(coeffs, 1.0)
+
+    # Flow conservation (Equation 5) at each intermediate site.
+    for cname, chain in model.chains.items():
+        for z in range(1, chain.num_stages):
+            for site in model.stage_destinations(chain, z):
+                coeffs = {}
+                for src in model.stage_sources(chain, z):
+                    coeffs[space.index[(cname, z, src, site)]] = 1.0
+                for dst in model.stage_destinations(chain, z + 1):
+                    idx = space.index[(cname, z + 1, site, dst)]
+                    coeffs[idx] = coeffs.get(idx, 0.0) - 1.0
+                add_eq(coeffs, 0.0)
+
+    # Compute constraints (Equation 4): per (VNF, site) and per site.
+    vnf_site_coeffs: dict[tuple[str, str], dict[int, float]] = {}
+    for i, (cname, z, src, dst) in enumerate(space.vars):
+        chain = model.chains[cname]
+        traffic = chain.stage_traffic(z)
+        if z < chain.num_stages:
+            vnf_name = chain.vnf_at(z)
+            load = model.vnfs[vnf_name].load_per_unit * traffic
+            coeffs = vnf_site_coeffs.setdefault((vnf_name, dst), {})
+            coeffs[i] = coeffs.get(i, 0.0) + load
+        if z > 1:
+            vnf_name = chain.vnf_at(z - 1)
+            load = model.vnfs[vnf_name].load_per_unit * traffic
+            coeffs = vnf_site_coeffs.setdefault((vnf_name, src), {})
+            coeffs[i] = coeffs.get(i, 0.0) + load
+
+    for (vnf_name, site), coeffs in sorted(vnf_site_coeffs.items()):
+        cap = model.vnfs[vnf_name].site_capacity.get(site)
+        if cap is None:
+            raise LpError(
+                f"internal: VNF {vnf_name!r} routed at non-deployment site {site!r}"
+            )
+        add_ub(coeffs, cap)
+
+    site_coeffs: dict[str, dict[int, float]] = {}
+    for (vnf_name, site), coeffs in vnf_site_coeffs.items():
+        merged = site_coeffs.setdefault(site, {})
+        for col, val in coeffs.items():
+            merged[col] = merged.get(col, 0.0) + val
+    for site, coeffs in sorted(site_coeffs.items()):
+        add_ub(coeffs, model.sites[site].capacity)
+
+    # Network cost (Equations 6-7): per-link MLU budget, or -- for
+    # MIN_MLU -- the same inequality with beta as a variable.
+    if (enforce_mlu or beta_index is not None) and model.links and model.routing:
+        link_coeffs: dict[str, dict[int, float]] = {}
+        for i, (cname, z, src, dst) in enumerate(space.vars):
+            chain = model.chains[cname]
+            fwd = chain.forward_traffic[z - 1]
+            rev = chain.reverse_traffic[z - 1]
+            n1 = model.endpoint_node(src)
+            n2 = model.endpoint_node(dst)
+            if fwd > 0:
+                for link_name, frac in model.links_between(n1, n2).items():
+                    coeffs = link_coeffs.setdefault(link_name, {})
+                    coeffs[i] = coeffs.get(i, 0.0) + fwd * frac
+            if rev > 0:
+                for link_name, frac in model.links_between(n2, n1).items():
+                    coeffs = link_coeffs.setdefault(link_name, {})
+                    coeffs[i] = coeffs.get(i, 0.0) + rev * frac
+        for link_name, coeffs in sorted(link_coeffs.items()):
+            link = model.links[link_name]
+            if beta_index is not None:
+                # g_e + traffic_e <= beta * b_e
+                coeffs = dict(coeffs)
+                coeffs[beta_index] = -link.bandwidth
+                add_ub(coeffs, -link.background)
+                continue
+            # Background traffic may already exceed the MLU budget on a
+            # link; Switchboard cannot reduce it, so its own traffic
+            # there is simply forced to zero rather than making the
+            # whole program infeasible.
+            headroom = max(
+                0.0, model.mlu_limit * link.bandwidth - link.background
+            )
+            add_ub(coeffs, headroom)
+        if beta_index is not None:
+            # Links Switchboard never touches still bound beta from below.
+            for link_name, link in model.links.items():
+                if link_name not in link_coeffs and link.background > 0:
+                    add_ub({beta_index: -link.bandwidth}, -link.background)
+
+    # Objective vector.
+    padded_latency = np.zeros(n_total)
+    padded_latency[:n] = weighted_latency
+    latency_scale = float(np.max(weighted_latency)) or 1.0
+    if objective is LpObjective.MIN_LATENCY:
+        cost = padded_latency
+    elif objective is LpObjective.MIN_MLU:
+        cost[beta_index] = 1.0
+        cost = cost + (latency_tiebreak / latency_scale) * padded_latency
+    else:
+        # Maximize carried stage-1 demand; minimize latency as a tiebreak.
+        for cname, chain in model.chains.items():
+            for src in model.stage_sources(chain, 1):
+                for dst in model.stage_destinations(chain, 1):
+                    cost[space.index[(cname, 1, src, dst)]] -= chain.stage_traffic(1)
+        min_demand = min(c.stage_traffic(1) for c in model.chains.values())
+        cost = cost + (latency_tiebreak * min_demand / latency_scale) * padded_latency
+
+    a_ub = csr_matrix(
+        (data, (rows, cols)), shape=(len(b_ub), n_total)
+    ) if b_ub else None
+    a_eq = csr_matrix(
+        (eq_data, (eq_rows, eq_cols)), shape=(len(b_eq), n_total)
+    ) if b_eq else None
+
+    bounds: list[tuple[float, float | None]] = [(0.0, 1.0)] * n
+    if beta_index is not None:
+        bounds.append((0.0, None))
+
+    start = time.perf_counter()
+    result = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=np.array(b_ub) if b_ub else None,
+        A_eq=a_eq,
+        b_eq=np.array(b_eq) if b_eq else None,
+        bounds=bounds,
+        method="highs",
+    )
+    elapsed = time.perf_counter() - start
+    n_constraints = len(b_ub) + len(b_eq)
+
+    if not result.success:
+        status = "infeasible" if result.status == 2 else f"failed({result.status})"
+        return LpResult(status, None, None, n_total, n_constraints, elapsed)
+
+    solution = RoutingSolution(model)
+    for i, (cname, z, src, dst) in enumerate(space.vars):
+        value = float(result.x[i])
+        if value > RoutingSolution.EPSILON:
+            solution.add_flow(cname, z, src, dst, value)
+    if beta_index is not None:
+        objective_value = float(result.x[beta_index])  # the achieved MLU
+    else:
+        objective_value = float(result.fun)
+    return LpResult(
+        "optimal", objective_value, solution, n_total, n_constraints, elapsed
+    )

@@ -1,0 +1,427 @@
+"""The Switchboard network model (Table 1 of the paper).
+
+The model captures four groups of parameters:
+
+- *network*: nodes ``N``, pairwise delays ``d``, links ``E`` with
+  bandwidths ``b_e``, background traffic ``g_e``, the routing fractions
+  ``r_{n1 n2 e}`` (which fraction of traffic between two nodes crosses a
+  link), and the maximum-link-utilization limit ``beta``;
+- *cloud*: sites ``S`` (a subset of nodes) with compute capacity ``m_s``;
+- *VNF*: the catalog ``F``, the sites ``S_f`` where each VNF is deployed
+  with per-site capacity ``m_sf``, and the load per unit traffic ``l_f``;
+- *chain*: customer chains ``C`` with ingress/egress nodes, ordered VNF
+  lists ``F_c``, and per-stage forward/reverse traffic ``w_cz`` /
+  ``v_cz``.
+
+Stages are numbered ``z = 1 .. |F_c| + 1`` as in the paper: stage ``z``
+is the logical link from the ``(z-1)``-th chain node to the ``z``-th,
+where node 0 is the ingress and node ``|F_c| + 1`` is the egress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+
+class ModelError(Exception):
+    """Raised when model construction or validation fails."""
+
+
+@dataclass(frozen=True)
+class CloudSite:
+    """A cloud site colocated with network node ``node``.
+
+    ``capacity`` is the maximum total compute load ``m_s`` across all VNFs
+    hosted at the site (in abstract load units; the paper leaves the unit
+    to the operator).
+    """
+
+    name: str
+    node: str
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ModelError(f"site {self.name!r}: negative capacity")
+
+
+@dataclass(frozen=True)
+class VNF:
+    """A VNF service in the catalog ``F``.
+
+    ``load_per_unit`` is ``l_f``: compute load generated per unit of
+    traffic through the VNF (the simulations in Section 7.3 call this
+    CPU/byte).  ``site_capacity`` maps each deployment site in ``S_f`` to
+    the VNF's capacity ``m_sf`` there.
+    """
+
+    name: str
+    load_per_unit: float
+    site_capacity: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.load_per_unit < 0:
+            raise ModelError(f"VNF {self.name!r}: negative load_per_unit")
+        for site, cap in self.site_capacity.items():
+            if cap < 0:
+                raise ModelError(
+                    f"VNF {self.name!r}: negative capacity at site {site!r}"
+                )
+        object.__setattr__(self, "site_capacity", dict(self.site_capacity))
+
+    @property
+    def sites(self) -> list[str]:
+        """The deployment sites ``S_f``."""
+        return list(self.site_capacity)
+
+    def with_sites(self, extra: Mapping[str, float]) -> "VNF":
+        """Return a copy deployed at additional sites (capacity planning)."""
+        merged = dict(self.site_capacity)
+        for site, cap in extra.items():
+            merged[site] = merged.get(site, 0.0) + cap
+        return VNF(self.name, self.load_per_unit, merged)
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed physical link ``e`` with bandwidth ``b_e`` and
+    non-Switchboard background traffic ``g_e`` (same unit as bandwidth)."""
+
+    name: str
+    src: str
+    dst: str
+    bandwidth: float
+    background: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ModelError(f"link {self.name!r}: non-positive bandwidth")
+        if self.background < 0:
+            raise ModelError(f"link {self.name!r}: negative background traffic")
+
+
+@dataclass(frozen=True)
+class Chain:
+    """A customer service chain ``c``.
+
+    ``forward_traffic`` / ``reverse_traffic`` are the per-stage demands
+    ``w_cz`` / ``v_cz`` for stages ``1 .. len(vnfs) + 1``.  Scalars are
+    broadcast to all stages (the common case: VNFs that neither compress
+    nor amplify traffic).
+    """
+
+    name: str
+    ingress: str
+    egress: str
+    vnfs: tuple[str, ...]
+    forward_traffic: tuple[float, ...]
+    reverse_traffic: tuple[float, ...]
+
+    def __init__(
+        self,
+        name: str,
+        ingress: str,
+        egress: str,
+        vnfs: Sequence[str],
+        forward_traffic: float | Sequence[float] = 1.0,
+        reverse_traffic: float | Sequence[float] = 0.0,
+    ):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "ingress", ingress)
+        object.__setattr__(self, "egress", egress)
+        object.__setattr__(self, "vnfs", tuple(vnfs))
+        stages = len(self.vnfs) + 1
+        object.__setattr__(
+            self, "forward_traffic", _per_stage(forward_traffic, stages, name)
+        )
+        object.__setattr__(
+            self, "reverse_traffic", _per_stage(reverse_traffic, stages, name)
+        )
+
+    @property
+    def num_stages(self) -> int:
+        """``|F_c| + 1`` logical links between chain nodes."""
+        return len(self.vnfs) + 1
+
+    def stage_traffic(self, z: int) -> float:
+        """Combined forward + reverse demand ``w_cz + v_cz`` at stage ``z``."""
+        self._check_stage(z)
+        return self.forward_traffic[z - 1] + self.reverse_traffic[z - 1]
+
+    def vnf_at(self, position: int) -> str:
+        """The ``position``-th VNF (1-based): ``f_cz``."""
+        if not 1 <= position <= len(self.vnfs):
+            raise ModelError(
+                f"chain {self.name!r}: VNF position {position} out of range"
+            )
+        return self.vnfs[position - 1]
+
+    def _check_stage(self, z: int) -> None:
+        if not 1 <= z <= self.num_stages:
+            raise ModelError(f"chain {self.name!r}: stage {z} out of range")
+
+    def scaled(self, factor: float) -> "Chain":
+        """Return a copy with all stage demands multiplied by ``factor``."""
+        return Chain(
+            self.name,
+            self.ingress,
+            self.egress,
+            self.vnfs,
+            tuple(w * factor for w in self.forward_traffic),
+            tuple(v * factor for v in self.reverse_traffic),
+        )
+
+
+def _per_stage(
+    value: float | Sequence[float], stages: int, chain: str
+) -> tuple[float, ...]:
+    if isinstance(value, (int, float)):
+        values = (float(value),) * stages
+    else:
+        values = tuple(float(v) for v in value)
+        if len(values) != stages:
+            raise ModelError(
+                f"chain {chain!r}: expected {stages} per-stage demands, "
+                f"got {len(values)}"
+            )
+    if any(v < 0 for v in values):
+        raise ModelError(f"chain {chain!r}: negative traffic demand")
+    return values
+
+
+class NetworkModel:
+    """The full model consumed by the traffic-engineering algorithms.
+
+    Parameters
+    ----------
+    nodes:
+        Network node names ``N``.
+    latency:
+        ``(n1, n2) -> one-way delay``.  Missing pairs default to the
+        symmetric entry if present; diagonal defaults to 0.
+    sites:
+        Cloud sites ``S``; each must reference a known node.
+    vnfs:
+        The VNF catalog ``F``; each deployment site must be a known site.
+    chains:
+        Customer chains ``C``; every chain VNF must be in the catalog and
+        ingress/egress must be known nodes.
+    links / routing:
+        Optional physical substrate: links ``E`` and routing fractions
+        ``r_{n1 n2 e}`` as ``(n1, n2) -> {link_name: fraction}``.
+    mlu_limit:
+        The operator's maximum-link-utilization budget ``beta``.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[str],
+        latency: Mapping[tuple[str, str], float],
+        sites: Iterable[CloudSite] = (),
+        vnfs: Iterable[VNF] = (),
+        chains: Iterable[Chain] = (),
+        links: Iterable[Link] = (),
+        routing: Mapping[tuple[str, str], Mapping[str, float]] | None = None,
+        mlu_limit: float = 1.0,
+    ):
+        self.nodes: list[str] = list(dict.fromkeys(nodes))
+        if not self.nodes:
+            raise ModelError("model needs at least one node")
+        node_set = set(self.nodes)
+
+        self._latency: dict[tuple[str, str], float] = {}
+        for (n1, n2), d in latency.items():
+            if n1 not in node_set or n2 not in node_set:
+                raise ModelError(f"latency entry references unknown node: {n1}->{n2}")
+            if d < 0:
+                raise ModelError(f"negative latency {n1}->{n2}")
+            self._latency[(n1, n2)] = float(d)
+
+        self.sites: dict[str, CloudSite] = {}
+        for site in sites:
+            if site.node not in node_set:
+                raise ModelError(f"site {site.name!r} on unknown node {site.node!r}")
+            if site.name in self.sites:
+                raise ModelError(f"duplicate site {site.name!r}")
+            self.sites[site.name] = site
+
+        self.vnfs: dict[str, VNF] = {}
+        for vnf in vnfs:
+            if vnf.name in self.vnfs:
+                raise ModelError(f"duplicate VNF {vnf.name!r}")
+            for s in vnf.site_capacity:
+                if s not in self.sites:
+                    raise ModelError(f"VNF {vnf.name!r} at unknown site {s!r}")
+            self.vnfs[vnf.name] = vnf
+
+        self.links: dict[str, Link] = {}
+        for link in links:
+            if link.src not in node_set or link.dst not in node_set:
+                raise ModelError(f"link {link.name!r} references unknown node")
+            if link.name in self.links:
+                raise ModelError(f"duplicate link {link.name!r}")
+            self.links[link.name] = link
+
+        self.routing: dict[tuple[str, str], dict[str, float]] = {}
+        if routing is not None:
+            for (n1, n2), fractions in routing.items():
+                for link_name, frac in fractions.items():
+                    if link_name not in self.links:
+                        raise ModelError(
+                            f"routing for ({n1},{n2}) uses unknown link {link_name!r}"
+                        )
+                    if frac < 0 or frac > 1 + 1e-9:
+                        raise ModelError(
+                            f"routing fraction out of range for ({n1},{n2},{link_name})"
+                        )
+                self.routing[(n1, n2)] = dict(fractions)
+
+        if mlu_limit <= 0:
+            raise ModelError("mlu_limit must be positive")
+        self.mlu_limit = float(mlu_limit)
+
+        self.chains: dict[str, Chain] = {}
+        for chain in chains:
+            self.add_chain(chain)
+
+    # -- chain management ----------------------------------------------
+
+    def add_chain(self, chain: Chain) -> None:
+        if chain.name in self.chains:
+            raise ModelError(f"duplicate chain {chain.name!r}")
+        if chain.ingress not in set(self.nodes):
+            raise ModelError(
+                f"chain {chain.name!r}: unknown ingress {chain.ingress!r}"
+            )
+        if chain.egress not in set(self.nodes):
+            raise ModelError(f"chain {chain.name!r}: unknown egress {chain.egress!r}")
+        for vnf_name in chain.vnfs:
+            vnf = self.vnfs.get(vnf_name)
+            if vnf is None:
+                raise ModelError(f"chain {chain.name!r}: unknown VNF {vnf_name!r}")
+            if not vnf.site_capacity:
+                raise ModelError(
+                    f"chain {chain.name!r}: VNF {vnf_name!r} has no deployment sites"
+                )
+        self.chains[chain.name] = chain
+
+    def remove_chain(self, name: str) -> None:
+        if name not in self.chains:
+            raise ModelError(f"unknown chain {name!r}")
+        del self.chains[name]
+
+    # -- lookups --------------------------------------------------------
+
+    def latency(self, n1: str, n2: str) -> float:
+        """One-way delay ``d_{n1 n2}`` (symmetric fallback, 0 diagonal)."""
+        if (n1, n2) in self._latency:
+            return self._latency[(n1, n2)]
+        if (n2, n1) in self._latency:
+            return self._latency[(n2, n1)]
+        if n1 == n2:
+            return 0.0
+        raise ModelError(f"no latency entry for {n1!r} -> {n2!r}")
+
+    def site_node(self, site: str) -> str:
+        return self.sites[site].node
+
+    def site_latency(self, a: str, b: str) -> float:
+        """Delay between two endpoints given as site names *or* node names."""
+        return self.latency(self.endpoint_node(a), self.endpoint_node(b))
+
+    def endpoint_node(self, name: str) -> str:
+        """Resolve a site name or node name to its network node."""
+        if name in self.sites:
+            return self.sites[name].node
+        return name
+
+    def vnf_sites(self, vnf_name: str) -> list[str]:
+        """Deployment sites ``S_f`` of a VNF."""
+        return self.vnfs[vnf_name].sites
+
+    # -- stage endpoints (Equations 1 and 2) -----------------------------
+
+    def stage_sources(self, chain: Chain, z: int) -> list[str]:
+        """``N^src_cz``: ingress node at stage 1, else sites of VNF z-1.
+
+        Site names are returned for VNF stages and the raw node name for
+        the ingress, mirroring the paper's mixed node/site formulation.
+        """
+        chain._check_stage(z)
+        if z == 1:
+            return [chain.ingress]
+        return self.vnf_sites(chain.vnf_at(z - 1))
+
+    def stage_destinations(self, chain: Chain, z: int) -> list[str]:
+        """``N^dst_cz``: egress node at the last stage, else sites of VNF z."""
+        chain._check_stage(z)
+        if z == chain.num_stages:
+            return [chain.egress]
+        return self.vnf_sites(chain.vnf_at(z))
+
+    # -- link routing -----------------------------------------------------
+
+    def route_fraction(self, n1: str, n2: str, link_name: str) -> float:
+        """``r_{n1 n2 e}``: fraction of ``n1``->``n2`` traffic crossing a link."""
+        return self.routing.get((n1, n2), {}).get(link_name, 0.0)
+
+    def links_between(self, n1: str, n2: str) -> dict[str, float]:
+        """All links carrying ``n1``->``n2`` traffic with their fractions."""
+        return dict(self.routing.get((n1, n2), {}))
+
+    def link_headroom(self, link: Link) -> float:
+        """Capacity available to Switchboard on a link under the MLU budget."""
+        return max(0.0, self.mlu_limit * link.bandwidth - link.background)
+
+    # -- aggregate views --------------------------------------------------
+
+    def total_demand(self) -> float:
+        """Sum of stage-1 forward+reverse demand across chains (offered load)."""
+        return sum(c.stage_traffic(1) for c in self.chains.values())
+
+    def copy_with_chains(self, chains: Iterable[Chain]) -> "NetworkModel":
+        """A model sharing this substrate but with a different chain set."""
+        return NetworkModel(
+            nodes=self.nodes,
+            latency=self._latency,
+            sites=self.sites.values(),
+            vnfs=self.vnfs.values(),
+            chains=chains,
+            links=self.links.values(),
+            routing=self.routing,
+            mlu_limit=self.mlu_limit,
+        )
+
+    def copy_with_vnfs(self, vnfs: Iterable[VNF]) -> "NetworkModel":
+        """A model sharing this substrate but with a different VNF catalog."""
+        return NetworkModel(
+            nodes=self.nodes,
+            latency=self._latency,
+            sites=self.sites.values(),
+            vnfs=vnfs,
+            chains=self.chains.values(),
+            links=self.links.values(),
+            routing=self.routing,
+            mlu_limit=self.mlu_limit,
+        )
+
+    def copy_with_sites(self, sites: Iterable[CloudSite]) -> "NetworkModel":
+        """A model sharing this substrate but with different site capacities."""
+        return NetworkModel(
+            nodes=self.nodes,
+            latency=self._latency,
+            sites=sites,
+            vnfs=self.vnfs.values(),
+            chains=self.chains.values(),
+            links=self.links.values(),
+            routing=self.routing,
+            mlu_limit=self.mlu_limit,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkModel(nodes={len(self.nodes)}, sites={len(self.sites)}, "
+            f"vnfs={len(self.vnfs)}, chains={len(self.chains)}, "
+            f"links={len(self.links)})"
+        )

@@ -1,0 +1,157 @@
+"""Multi-ingress / multi-egress chains (the generalization the paper
+omits "for ease of exposition", Section 4.1).
+
+An enterprise chain rarely has one ingress and one egress: a customer
+with several offices wants the same chain from every office to every
+other.  The data plane already supports this shape -- the egress-site
+label is per *packet*, so one chain label can fan out to many egresses,
+and Section 6's on-demand edge addition grafts extra ingresses.
+
+On the traffic-engineering side, a multipoint chain decomposes exactly
+into one (ingress, egress) sub-chain per pair: the packet's egress is
+fixed by its destination address, so the per-pair demand is the chain
+total split by the ingress shares times, per ingress, the distribution
+over egresses.  The sub-chains share the chain's VNFs (and therefore its
+capacity via normal joint optimization), which is precisely how the
+prototype realizes it (a route per (chain label, egress label) pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.model import Chain
+from repro.core.routes import RoutingSolution
+
+
+class MultipointError(Exception):
+    """Raised on malformed multipoint specifications."""
+
+
+@dataclass(frozen=True)
+class MultipointChain:
+    """A chain with weighted ingress and egress node sets.
+
+    ``ingress_shares`` gives each ingress node's fraction of the total
+    demand (they must sum to 1); ``egress_shares`` distributes each
+    ingress's traffic over egresses.  An ingress that is also an egress
+    never sends to itself; its egress shares are renormalized over the
+    remaining egresses.
+    """
+
+    name: str
+    ingress_shares: Mapping[str, float]
+    egress_shares: Mapping[str, float]
+    vnfs: tuple[str, ...]
+    forward_demand: float
+    reverse_demand: float = 0.0
+
+    def __init__(
+        self,
+        name: str,
+        ingress_shares: Mapping[str, float],
+        egress_shares: Mapping[str, float],
+        vnfs,
+        forward_demand: float,
+        reverse_demand: float = 0.0,
+    ):
+        for label, shares in (
+            ("ingress", ingress_shares), ("egress", egress_shares)
+        ):
+            if not shares:
+                raise MultipointError(f"chain {name!r}: empty {label} set")
+            if any(s <= 0 for s in shares.values()):
+                raise MultipointError(
+                    f"chain {name!r}: non-positive {label} share"
+                )
+            total = sum(shares.values())
+            if abs(total - 1.0) > 1e-6:
+                raise MultipointError(
+                    f"chain {name!r}: {label} shares sum to {total}, not 1"
+                )
+        if forward_demand < 0 or reverse_demand < 0:
+            raise MultipointError(f"chain {name!r}: negative demand")
+        if set(ingress_shares) == set(egress_shares) and len(ingress_shares) == 1:
+            raise MultipointError(
+                f"chain {name!r}: sole ingress equals sole egress"
+            )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "ingress_shares", dict(ingress_shares))
+        object.__setattr__(self, "egress_shares", dict(egress_shares))
+        object.__setattr__(self, "vnfs", tuple(vnfs))
+        object.__setattr__(self, "forward_demand", forward_demand)
+        object.__setattr__(self, "reverse_demand", reverse_demand)
+
+    def pair_name(self, ingress: str, egress: str) -> str:
+        return f"{self.name}@{ingress}>{egress}"
+
+    def expand(self) -> list[Chain]:
+        """The per-(ingress, egress) sub-chains with split demands."""
+        chains: list[Chain] = []
+        for ingress, in_share in sorted(self.ingress_shares.items()):
+            egresses = {
+                e: s for e, s in self.egress_shares.items() if e != ingress
+            }
+            norm = sum(egresses.values())
+            if norm <= 0:
+                raise MultipointError(
+                    f"chain {self.name!r}: ingress {ingress!r} has no "
+                    "egress to send to"
+                )
+            for egress, e_share in sorted(egresses.items()):
+                weight = in_share * e_share / norm
+                chains.append(
+                    Chain(
+                        self.pair_name(ingress, egress),
+                        ingress,
+                        egress,
+                        self.vnfs,
+                        self.forward_demand * weight,
+                        self.reverse_demand * weight,
+                    )
+                )
+        return chains
+
+
+@dataclass
+class MultipointSummary:
+    """Aggregated view of a routed multipoint chain."""
+
+    name: str
+    carried_fraction: float
+    mean_latency_ms: float
+    #: (ingress, egress) -> carried fraction of that pair's demand.
+    pair_fractions: dict[tuple[str, str], float] = field(default_factory=dict)
+
+
+def summarize_multipoint(
+    chain: MultipointChain, solution: RoutingSolution
+) -> MultipointSummary:
+    """Aggregate a routing solution's per-pair results back to the chain."""
+    total_demand = 0.0
+    carried = 0.0
+    latency_weight = 0.0
+    pair_fractions: dict[tuple[str, str], float] = {}
+    for sub in chain.expand():
+        if sub.name not in solution.model.chains:
+            raise MultipointError(
+                f"sub-chain {sub.name!r} is not in the routed model"
+            )
+        demand = sub.stage_traffic(1)
+        fraction = solution.routed_fraction(sub.name)
+        total_demand += demand
+        carried += fraction * demand
+        if fraction > 1e-9:
+            latency_weight += (
+                fraction * demand * solution.chain_latency(sub.name)
+            )
+        ingress, egress = sub.ingress, sub.egress
+        pair_fractions[(ingress, egress)] = fraction
+    mean_latency = latency_weight / carried if carried > 0 else float("inf")
+    return MultipointSummary(
+        chain.name,
+        carried / total_demand if total_demand > 0 else 0.0,
+        mean_latency,
+        pair_fractions,
+    )

@@ -1,0 +1,350 @@
+"""Routing solutions: the ``x_{c z n1 n2}`` variables and derived metrics.
+
+Every traffic-engineering scheme in this repository -- SB-LP, SB-DP,
+ANYCAST, COMPUTE-AWARE, and the ablations -- produces a
+:class:`RoutingSolution`.  All evaluation metrics (the weighted-latency
+objective of Equation 3, site and VNF loads of Equation 4, link traffic of
+Equations 6-7, carried throughput) are computed here so that schemes are
+compared on identical accounting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.model import Chain, ModelError, NetworkModel
+
+
+class RoutingError(Exception):
+    """Raised on malformed routing solutions."""
+
+
+@dataclass(frozen=True)
+class StageFlow:
+    """One routing assignment: a fraction of a chain's stage-``z`` traffic
+    sent from ``src`` to ``dst`` (site names, or the raw ingress/egress
+    node at the chain ends)."""
+
+    chain: str
+    stage: int
+    src: str
+    dst: str
+    fraction: float
+
+
+class RoutingSolution:
+    """A (possibly partial) routing for every chain in a model.
+
+    ``fraction(c, z, n1, n2)`` is the paper's ``x_{c z n1 n2}``: the share
+    of chain ``c``'s stage-``z`` demand routed from ``n1`` to ``n2``.
+    Fractions below ``EPSILON`` are treated as zero and dropped.
+
+    A solution may intentionally route less than the full demand of a
+    chain (the max-throughput LP and the capacity-limited heuristics do
+    this); :meth:`routed_fraction` exposes how much was carried.
+    """
+
+    EPSILON = 1e-9
+
+    def __init__(self, model: NetworkModel):
+        self.model = model
+        # (chain, stage) -> {(src, dst): fraction}
+        self._flows: dict[tuple[str, int], dict[tuple[str, str], float]] = (
+            defaultdict(dict)
+        )
+
+    # -- construction ---------------------------------------------------
+
+    def add_flow(
+        self, chain: str, stage: int, src: str, dst: str, fraction: float
+    ) -> None:
+        """Accumulate ``fraction`` of stage traffic onto the (src, dst) pair."""
+        if chain not in self.model.chains:
+            raise RoutingError(f"unknown chain {chain!r}")
+        c = self.model.chains[chain]
+        if not 1 <= stage <= c.num_stages:
+            raise RoutingError(f"chain {chain!r}: stage {stage} out of range")
+        if fraction < -self.EPSILON:
+            raise RoutingError(f"negative flow fraction {fraction}")
+        if fraction <= self.EPSILON:
+            return
+        key = (src, dst)
+        stage_flows = self._flows[(chain, stage)]
+        stage_flows[key] = stage_flows.get(key, 0.0) + fraction
+
+    def add_path(self, chain: str, sites: Sequence[str], fraction: float) -> None:
+        """Add a full chain path (ingress, site_1, ..., site_k, egress).
+
+        ``sites`` must have one entry per chain node, i.e.
+        ``len(chain.vnfs) + 2`` entries; consecutive entries become one
+        stage flow each.  This is how the DP heuristic and the per-hop
+        baselines emit their routes.
+        """
+        c = self.model.chains[chain]
+        expected = len(c.vnfs) + 2
+        if len(sites) != expected:
+            raise RoutingError(
+                f"chain {chain!r}: path needs {expected} hops, got {len(sites)}"
+            )
+        for z, (src, dst) in enumerate(zip(sites, sites[1:]), start=1):
+            self.add_flow(chain, z, src, dst, fraction)
+
+    def set_flow(
+        self, chain: str, stage: int, src: str, dst: str, fraction: float
+    ) -> None:
+        """Overwrite (or remove, when ~0) a single stage flow."""
+        if chain not in self.model.chains:
+            raise RoutingError(f"unknown chain {chain!r}")
+        if fraction < -self.EPSILON:
+            raise RoutingError(f"negative flow fraction {fraction}")
+        stage_flows = self._flows[(chain, stage)]
+        if fraction <= self.EPSILON:
+            stage_flows.pop((src, dst), None)
+        else:
+            stage_flows[(src, dst)] = fraction
+
+    def clear_chain(self, chain: str) -> None:
+        """Remove every flow of a chain (route rollback / teardown)."""
+        if chain not in self.model.chains:
+            raise RoutingError(f"unknown chain {chain!r}")
+        stages = self.model.chains[chain].num_stages
+        for z in range(1, stages + 1):
+            self._flows.pop((chain, z), None)
+
+    # -- lookups ----------------------------------------------------------
+
+    def fraction(self, chain: str, stage: int, src: str, dst: str) -> float:
+        return self._flows.get((chain, stage), {}).get((src, dst), 0.0)
+
+    def stage_flows(self, chain: str, stage: int) -> dict[tuple[str, str], float]:
+        return dict(self._flows.get((chain, stage), {}))
+
+    def flows(self) -> Iterator[StageFlow]:
+        """Iterate every non-zero stage flow."""
+        for (chain, stage), pairs in self._flows.items():
+            for (src, dst), fraction in pairs.items():
+                yield StageFlow(chain, stage, src, dst, fraction)
+
+    def routed_fraction(self, chain: str) -> float:
+        """Share of the chain's demand actually carried (stage-1 flow sum)."""
+        return sum(self._flows.get((chain, 1), {}).values())
+
+    # -- metrics ------------------------------------------------------------
+
+    def total_weighted_latency(self) -> float:
+        """The Equation 3 objective: sum over flows of
+        ``(w_cz + v_cz) * d_{n1 n2} * x``."""
+        total = 0.0
+        for flow in self.flows():
+            c = self.model.chains[flow.chain]
+            demand = c.stage_traffic(flow.stage)
+            total += demand * self.model.site_latency(flow.src, flow.dst) * flow.fraction
+        return total
+
+    def chain_latency(self, chain: str) -> float:
+        """Expected one-way path latency of a chain's carried traffic.
+
+        Per stage, the expected hop delay weighted by flow fractions
+        (normalized by the carried fraction), summed over stages.  Returns
+        ``inf`` for a chain carrying no traffic.
+        """
+        routed = self.routed_fraction(chain)
+        if routed <= self.EPSILON:
+            return float("inf")
+        c = self.model.chains[chain]
+        total = 0.0
+        for z in range(1, c.num_stages + 1):
+            stage_total = 0.0
+            for (src, dst), frac in self._flows.get((chain, z), {}).items():
+                stage_total += self.model.site_latency(src, dst) * frac
+            total += stage_total / routed
+        return total
+
+    def mean_latency(self) -> float:
+        """Traffic-weighted mean chain latency over carried traffic."""
+        num, den = 0.0, 0.0
+        for name, chain in self.model.chains.items():
+            routed = self.routed_fraction(name)
+            if routed <= self.EPSILON:
+                continue
+            carried = routed * chain.stage_traffic(1)
+            num += carried * self.chain_latency(name)
+            den += carried
+        return num / den if den > 0 else float("inf")
+
+    def throughput(self) -> float:
+        """Total chain demand carried (stage-1 forward+reverse traffic)."""
+        return sum(
+            self.routed_fraction(name) * chain.stage_traffic(1)
+            for name, chain in self.model.chains.items()
+        )
+
+    def vnf_site_loads(self) -> dict[tuple[str, str], float]:
+        """Load of each (VNF, site): ``l_f`` times traffic received at the
+        VNF's stage plus traffic sent at the following stage (Equation 4)."""
+        loads: dict[tuple[str, str], float] = defaultdict(float)
+        for flow in self.flows():
+            c = self.model.chains[flow.chain]
+            demand = c.stage_traffic(flow.stage) * flow.fraction
+            # Traffic received by the VNF terminating stage z (if not egress).
+            if flow.stage < c.num_stages:
+                vnf = c.vnf_at(flow.stage)
+                loads[(vnf, flow.dst)] += self.model.vnfs[vnf].load_per_unit * demand
+            # Traffic sent by the VNF originating stage z (if not ingress).
+            if flow.stage > 1:
+                vnf = c.vnf_at(flow.stage - 1)
+                loads[(vnf, flow.src)] += self.model.vnfs[vnf].load_per_unit * demand
+        return dict(loads)
+
+    def site_loads(self) -> dict[str, float]:
+        """Total load per cloud site, summed across VNFs."""
+        loads: dict[str, float] = defaultdict(float)
+        for (_vnf, site), load in self.vnf_site_loads().items():
+            loads[site] += load
+        return dict(loads)
+
+    def pair_traffic(self) -> dict[tuple[str, str], float]:
+        """``sum_c T_{c n1 n2}`` of Equation 7: total Switchboard traffic
+        between node pairs, combining forward and reverse directions.
+
+        Reverse-direction traffic for a stage flow ``n1 -> n2`` travels
+        ``n2 -> n1``.  Keys are network *nodes* (sites resolved).
+        """
+        traffic: dict[tuple[str, str], float] = defaultdict(float)
+        for flow in self.flows():
+            c = self.model.chains[flow.chain]
+            fwd = c.forward_traffic[flow.stage - 1] * flow.fraction
+            rev = c.reverse_traffic[flow.stage - 1] * flow.fraction
+            src = self.model.endpoint_node(flow.src)
+            dst = self.model.endpoint_node(flow.dst)
+            if fwd > 0:
+                traffic[(src, dst)] += fwd
+            if rev > 0:
+                traffic[(dst, src)] += rev
+        return dict(traffic)
+
+    def link_traffic(self) -> dict[str, float]:
+        """Switchboard traffic per physical link via routing fractions
+        ``r_{n1 n2 e}`` (the summand of Equation 6)."""
+        per_link: dict[str, float] = defaultdict(float)
+        for (n1, n2), volume in self.pair_traffic().items():
+            for link_name, frac in self.model.links_between(n1, n2).items():
+                per_link[link_name] += volume * frac
+        return dict(per_link)
+
+    def link_utilization(self) -> dict[str, float]:
+        """Utilization (background + Switchboard) of every physical link."""
+        traffic = self.link_traffic()
+        return {
+            name: (link.background + traffic.get(name, 0.0)) / link.bandwidth
+            for name, link in self.model.links.items()
+        }
+
+    def max_link_utilization(self) -> float:
+        """The network cost metric the MLU budget ``beta`` constrains."""
+        utils = self.link_utilization()
+        return max(utils.values()) if utils else 0.0
+
+    # -- validation -----------------------------------------------------------
+
+    def violations(self, tol: float = 1e-6) -> list[str]:
+        """Check structural and capacity invariants; return human-readable
+        descriptions of violations (empty list == valid).
+
+        Checks: endpoint validity per stage (Equations 1-2), flow
+        conservation (Equation 5), routed fraction <= 1, site capacity,
+        VNF-site capacity (Equation 4), and the MLU budget (Equation 6)
+        when links are modelled.
+        """
+        problems: list[str] = []
+        for name, chain in self.model.chains.items():
+            problems.extend(self._check_chain(name, chain, tol))
+
+        for site_name, load in self.site_loads().items():
+            site = self.model.sites.get(site_name)
+            if site is None:
+                problems.append(f"load on unknown site {site_name!r}")
+            elif load > site.capacity + tol:
+                problems.append(
+                    f"site {site_name!r} overloaded: {load:.6g} > {site.capacity:.6g}"
+                )
+
+        for (vnf_name, site_name), load in self.vnf_site_loads().items():
+            cap = self.model.vnfs[vnf_name].site_capacity.get(site_name)
+            if cap is None:
+                problems.append(
+                    f"VNF {vnf_name!r} routed at non-deployment site {site_name!r}"
+                )
+            elif load > cap + tol:
+                problems.append(
+                    f"VNF {vnf_name!r} at {site_name!r} overloaded: "
+                    f"{load:.6g} > {cap:.6g}"
+                )
+
+        if self.model.links:
+            for link_name, util in self.link_utilization().items():
+                if util > self.model.mlu_limit + tol:
+                    problems.append(
+                        f"link {link_name!r} exceeds MLU budget: "
+                        f"{util:.6g} > {self.model.mlu_limit:.6g}"
+                    )
+        return problems
+
+    def _check_chain(self, name: str, chain: Chain, tol: float) -> Iterable[str]:
+        problems: list[str] = []
+        routed = self.routed_fraction(name)
+        if routed > 1 + tol:
+            problems.append(f"chain {name!r} routes {routed:.6g} > 1 of its demand")
+
+        for z in range(1, chain.num_stages + 1):
+            try:
+                sources = set(self.model.stage_sources(chain, z))
+                dests = set(self.model.stage_destinations(chain, z))
+            except ModelError as exc:
+                problems.append(str(exc))
+                continue
+            for (src, dst), frac in self._flows.get((name, z), {}).items():
+                if src not in sources:
+                    problems.append(
+                        f"chain {name!r} stage {z}: invalid source {src!r}"
+                    )
+                if dst not in dests:
+                    problems.append(
+                        f"chain {name!r} stage {z}: invalid destination {dst!r}"
+                    )
+                if frac < -tol:
+                    problems.append(
+                        f"chain {name!r} stage {z}: negative fraction {frac:.6g}"
+                    )
+
+        # Flow conservation (Equation 5) at every intermediate VNF site.
+        for z in range(1, chain.num_stages):
+            incoming: dict[str, float] = defaultdict(float)
+            outgoing: dict[str, float] = defaultdict(float)
+            for (_src, dst), frac in self._flows.get((name, z), {}).items():
+                incoming[dst] += frac
+            for (src, _dst), frac in self._flows.get((name, z + 1), {}).items():
+                outgoing[src] += frac
+            for site in set(incoming) | set(outgoing):
+                if abs(incoming[site] - outgoing[site]) > tol:
+                    problems.append(
+                        f"chain {name!r}: flow conservation broken at stage "
+                        f"{z}->{z + 1}, site {site!r}: in={incoming[site]:.6g} "
+                        f"out={outgoing[site]:.6g}"
+                    )
+        return problems
+
+    def validate(self, tol: float = 1e-6) -> None:
+        """Raise :class:`RoutingError` listing all violations, if any."""
+        problems = self.violations(tol)
+        if problems:
+            raise RoutingError("; ".join(problems))
+
+    def __repr__(self) -> str:
+        n_flows = sum(len(p) for p in self._flows.values())
+        return (
+            f"RoutingSolution(chains={len(self.model.chains)}, flows={n_flows}, "
+            f"throughput={self.throughput():.6g})"
+        )

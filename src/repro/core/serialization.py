@@ -1,0 +1,225 @@
+"""JSON serialization of the network model and chain specifications.
+
+Section 4.5: "The parameters of the network model (Table 1) for Global
+Switchboard are defined using the YANG data modeling language and data
+entries are stored as JSON objects."  This module is the JSON half of
+that: a stable, versioned document format for the Table 1 model and for
+customer chain specifications, with validation on load.  The CLI and
+the replicated controller store both use plain dicts, so these documents
+are also what a standby controller or an external orchestrator (the
+paper's ONAP discussion) would exchange.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.controller.chainspec import ChainSpecification
+from repro.core.model import Chain, CloudSite, Link, NetworkModel, VNF
+
+SCHEMA_VERSION = 1
+
+
+class SerializationError(Exception):
+    """Raised on malformed documents."""
+
+
+# ---------------------------------------------------------------------------
+# NetworkModel
+# ---------------------------------------------------------------------------
+
+
+def model_to_dict(model: NetworkModel) -> dict[str, Any]:
+    """The Table 1 model as a JSON-compatible document."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "nodes": list(model.nodes),
+        "latency": [
+            {"from": n1, "to": n2, "delay_ms": delay}
+            for (n1, n2), delay in sorted(model._latency.items())
+        ],
+        "sites": [
+            {"name": s.name, "node": s.node, "capacity": s.capacity}
+            for s in model.sites.values()
+        ],
+        "vnfs": [
+            {
+                "name": v.name,
+                "load_per_unit": v.load_per_unit,
+                "site_capacity": dict(v.site_capacity),
+            }
+            for v in model.vnfs.values()
+        ],
+        "chains": [
+            {
+                "name": c.name,
+                "ingress": c.ingress,
+                "egress": c.egress,
+                "vnfs": list(c.vnfs),
+                "forward_traffic": list(c.forward_traffic),
+                "reverse_traffic": list(c.reverse_traffic),
+            }
+            for c in model.chains.values()
+        ],
+        "links": [
+            {
+                "name": l.name,
+                "src": l.src,
+                "dst": l.dst,
+                "bandwidth": l.bandwidth,
+                "background": l.background,
+            }
+            for l in model.links.values()
+        ],
+        "routing": [
+            {"from": n1, "to": n2, "fractions": dict(fractions)}
+            for (n1, n2), fractions in sorted(model.routing.items())
+        ],
+        "mlu_limit": model.mlu_limit,
+    }
+
+
+def model_from_dict(document: dict[str, Any]) -> NetworkModel:
+    """Parse and validate a model document (raises on malformed input)."""
+    try:
+        version = document["schema_version"]
+        if version != SCHEMA_VERSION:
+            raise SerializationError(
+                f"unsupported schema version {version!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        latency = {
+            (entry["from"], entry["to"]): float(entry["delay_ms"])
+            for entry in document.get("latency", [])
+        }
+        sites = [
+            CloudSite(s["name"], s["node"], float(s["capacity"]))
+            for s in document.get("sites", [])
+        ]
+        vnfs = [
+            VNF(
+                v["name"],
+                float(v["load_per_unit"]),
+                {k: float(c) for k, c in v["site_capacity"].items()},
+            )
+            for v in document.get("vnfs", [])
+        ]
+        chains = [
+            Chain(
+                c["name"],
+                c["ingress"],
+                c["egress"],
+                c["vnfs"],
+                c["forward_traffic"],
+                c["reverse_traffic"],
+            )
+            for c in document.get("chains", [])
+        ]
+        links = [
+            Link(
+                l["name"], l["src"], l["dst"],
+                float(l["bandwidth"]), float(l.get("background", 0.0)),
+            )
+            for l in document.get("links", [])
+        ]
+        routing = {
+            (entry["from"], entry["to"]): {
+                k: float(f) for k, f in entry["fractions"].items()
+            }
+            for entry in document.get("routing", [])
+        }
+        return NetworkModel(
+            nodes=document["nodes"],
+            latency=latency,
+            sites=sites,
+            vnfs=vnfs,
+            chains=chains,
+            links=links,
+            routing=routing,
+            mlu_limit=float(document.get("mlu_limit", 1.0)),
+        )
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed model document: {exc}") from exc
+
+
+def model_to_json(model: NetworkModel, indent: int | None = 2) -> str:
+    return json.dumps(model_to_dict(model), indent=indent)
+
+
+def model_from_json(text: str) -> NetworkModel:
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise SerializationError("model document must be a JSON object")
+    return model_from_dict(document)
+
+
+# ---------------------------------------------------------------------------
+# ChainSpecification
+# ---------------------------------------------------------------------------
+
+
+def spec_to_dict(spec: ChainSpecification) -> dict[str, Any]:
+    """A chain specification as the portal would submit it."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": spec.name,
+        "edge_service": spec.edge_service,
+        "ingress_attachment": spec.ingress_attachment,
+        "egress_attachment": spec.egress_attachment,
+        "vnf_services": list(spec.vnf_services),
+        "forward_demand": spec.forward_demand,
+        "reverse_demand": spec.reverse_demand,
+        "src_prefix": spec.src_prefix,
+        "dst_prefixes": list(spec.dst_prefixes),
+        "protocol": spec.protocol,
+        "dst_port_range": list(spec.dst_port_range)
+        if spec.dst_port_range
+        else None,
+    }
+
+
+def spec_from_dict(document: dict[str, Any]) -> ChainSpecification:
+    try:
+        version = document["schema_version"]
+        if version != SCHEMA_VERSION:
+            raise SerializationError(
+                f"unsupported schema version {version!r}"
+            )
+        port_range = document.get("dst_port_range")
+        return ChainSpecification(
+            document["name"],
+            document["edge_service"],
+            document["ingress_attachment"],
+            document["egress_attachment"],
+            document["vnf_services"],
+            forward_demand=float(document.get("forward_demand", 1.0)),
+            reverse_demand=float(document.get("reverse_demand", 0.0)),
+            src_prefix=document.get("src_prefix"),
+            dst_prefixes=document.get("dst_prefixes", ()),
+            protocol=document.get("protocol"),
+            dst_port_range=tuple(port_range) if port_range else None,
+        )
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed chain document: {exc}") from exc
+
+
+def spec_to_json(spec: ChainSpecification, indent: int | None = 2) -> str:
+    return json.dumps(spec_to_dict(spec), indent=indent)
+
+
+def spec_from_json(text: str) -> ChainSpecification:
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise SerializationError("chain document must be a JSON object")
+    return spec_from_dict(document)

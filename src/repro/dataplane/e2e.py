@@ -1,0 +1,239 @@
+"""End-to-end testbed model for the Figure 10/11 experiments.
+
+The paper's end-to-end comparisons run TCP traffic over two-site
+testbeds (AWS with 150 ms inter-site RTT; a private cloud with 80 ms).
+What determines the published numbers is (a) which VNF instances each
+scheme's routing shares or saturates, (b) the wide-area RTT of each
+route, (c) queueing delay at saturated instances, and (d) TCP's
+throughput sensitivity to RTT and loss on wide-area paths.  This module
+models exactly those four effects:
+
+- routes receive **max-min fair** shares of every VNF instance capacity
+  they traverse (progressive filling), additionally capped by their
+  offered demand and by the Mathis TCP bound ``1.22 * MSS / (RTT *
+  sqrt(loss))`` when a lossy wide-area hop is on the path;
+- route RTT adds M/M/1-style queueing delay at each VNF instance as its
+  utilization approaches 1.
+
+The same model evaluates both phases of the Figure 10 dynamic-route
+experiment (one route, then two).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class E2EError(Exception):
+    """Raised on invalid testbed construction."""
+
+
+_MSS_BYTES = 1460
+_MATHIS_CONSTANT = 1.22
+
+
+@dataclass
+class VnfInstanceSpec:
+    """A VNF instance in the testbed with a processing capacity in Mbps."""
+
+    name: str
+    site: str
+    capacity_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_mbps <= 0:
+            raise E2EError(f"instance {self.name!r}: non-positive capacity")
+
+
+@dataclass
+class E2ERoute:
+    """One chain route: an ordered list of sites with the VNF instances
+    visited along the way, plus the route's offered demand."""
+
+    name: str
+    sites: list[str]
+    instances: list[str]
+    demand_mbps: float
+
+    def __post_init__(self) -> None:
+        if len(self.sites) < 2:
+            raise E2EError(f"route {self.name!r}: needs ingress and egress")
+        if self.demand_mbps <= 0:
+            raise E2EError(f"route {self.name!r}: non-positive demand")
+
+
+@dataclass
+class RouteMetrics:
+    """Evaluated performance of one route."""
+
+    throughput_mbps: float
+    rtt_ms: float
+    bottleneck: str | None
+
+
+@dataclass
+class E2EResult:
+    """Evaluated performance of the whole testbed."""
+
+    routes: dict[str, RouteMetrics]
+
+    @property
+    def total_throughput_mbps(self) -> float:
+        return sum(m.throughput_mbps for m in self.routes.values())
+
+    @property
+    def mean_rtt_ms(self) -> float:
+        """Throughput-weighted mean RTT across routes."""
+        total = self.total_throughput_mbps
+        if total <= 0:
+            return float("inf")
+        return (
+            sum(m.throughput_mbps * m.rtt_ms for m in self.routes.values()) / total
+        )
+
+
+class E2ETestbed:
+    """A small wide-area testbed: sites, RTTs, instances, and routes."""
+
+    def __init__(
+        self,
+        rtt_ms: dict[tuple[str, str], float],
+        service_ms: float = 0.5,
+        max_queue_ms: float = 25.0,
+    ):
+        self._rtt: dict[tuple[str, str], float] = {}
+        for (a, b), rtt in rtt_ms.items():
+            if rtt < 0:
+                raise E2EError(f"negative RTT for ({a}, {b})")
+            self._rtt[(a, b)] = rtt
+            self._rtt[(b, a)] = rtt
+        self.service_ms = service_ms
+        self.max_queue_ms = max_queue_ms
+        self.instances: dict[str, VnfInstanceSpec] = {}
+        self.routes: dict[str, E2ERoute] = {}
+        self.loss: dict[tuple[str, str], float] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_instance(self, spec: VnfInstanceSpec) -> None:
+        if spec.name in self.instances:
+            raise E2EError(f"duplicate instance {spec.name!r}")
+        self.instances[spec.name] = spec
+
+    def set_loss(self, a: str, b: str, loss_rate: float) -> None:
+        """Configure a packet-loss rate on the wide-area path a<->b."""
+        if not 0 <= loss_rate < 1:
+            raise E2EError(f"loss rate out of range: {loss_rate}")
+        self.loss[(a, b)] = loss_rate
+        self.loss[(b, a)] = loss_rate
+
+    def add_route(self, route: E2ERoute) -> None:
+        if route.name in self.routes:
+            raise E2EError(f"duplicate route {route.name!r}")
+        for inst in route.instances:
+            if inst not in self.instances:
+                raise E2EError(f"route {route.name!r}: unknown instance {inst!r}")
+        for a, b in zip(route.sites, route.sites[1:]):
+            if a != b and (a, b) not in self._rtt:
+                raise E2EError(f"route {route.name!r}: no RTT for ({a}, {b})")
+        self.routes[route.name] = route
+
+    def remove_route(self, name: str) -> None:
+        self.routes.pop(name, None)
+
+    # -- helpers --------------------------------------------------------------
+
+    def rtt(self, a: str, b: str) -> float:
+        if a == b:
+            return 0.0
+        return self._rtt[(a, b)]
+
+    def base_rtt(self, route: E2ERoute) -> float:
+        """Propagation RTT of a route (no queueing)."""
+        return sum(self.rtt(a, b) for a, b in zip(route.sites, route.sites[1:]))
+
+    def path_loss(self, route: E2ERoute) -> float:
+        """Aggregate loss probability across the route's lossy hops."""
+        keep = 1.0
+        for a, b in zip(route.sites, route.sites[1:]):
+            keep *= 1.0 - self.loss.get((a, b), 0.0)
+        return 1.0 - keep
+
+    def tcp_cap_mbps(self, route: E2ERoute) -> float:
+        """Mathis bound for the route, or +inf without loss."""
+        loss = self.path_loss(route)
+        rtt_s = self.base_rtt(route) / 1e3
+        if loss <= 0 or rtt_s <= 0:
+            return float("inf")
+        bps = _MATHIS_CONSTANT * _MSS_BYTES * 8 / (rtt_s * loss**0.5)
+        return bps / 1e6
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def evaluate(self) -> E2EResult:
+        """Allocate max-min fair throughput and compute per-route RTTs."""
+        caps = {
+            name: min(route.demand_mbps, self.tcp_cap_mbps(route))
+            for name, route in self.routes.items()
+        }
+        rates = {name: 0.0 for name in self.routes}
+        frozen: set[str] = set()
+        bottleneck: dict[str, str | None] = {name: None for name in self.routes}
+        residual = {name: spec.capacity_mbps for name, spec in self.instances.items()}
+
+        while len(frozen) < len(self.routes):
+            active = [name for name in self.routes if name not in frozen]
+            # Largest uniform increment before a route cap or an instance
+            # capacity binds.
+            increment = min(caps[name] - rates[name] for name in active)
+            binding_instance = None
+            for inst_name, left in residual.items():
+                users = [
+                    r for r in active
+                    if inst_name in self.routes[r].instances
+                ]
+                if not users:
+                    continue
+                inst_increment = left / len(users)
+                if inst_increment < increment:
+                    increment = inst_increment
+                    binding_instance = inst_name
+            increment = max(0.0, increment)
+
+            for name in active:
+                rates[name] += increment
+                for inst_name in self.routes[name].instances:
+                    residual[inst_name] -= increment
+
+            if binding_instance is None:
+                # A route cap bound first: freeze every route at its cap.
+                for name in active:
+                    if rates[name] >= caps[name] - 1e-9:
+                        frozen.add(name)
+                        bottleneck[name] = (
+                            "tcp"
+                            if caps[name] < self.routes[name].demand_mbps
+                            else "demand"
+                        )
+            else:
+                for name in active:
+                    if binding_instance in self.routes[name].instances:
+                        frozen.add(name)
+                        bottleneck[name] = binding_instance
+
+        utilization = {
+            name: (spec.capacity_mbps - residual[name]) / spec.capacity_mbps
+            for name, spec in self.instances.items()
+        }
+        metrics = {}
+        for name, route in self.routes.items():
+            rtt = self.base_rtt(route)
+            for inst_name in route.instances:
+                rtt += 2 * self._queue_delay(utilization[inst_name])
+            metrics[name] = RouteMetrics(rates[name], rtt, bottleneck[name])
+        return E2EResult(metrics)
+
+    def _queue_delay(self, utilization: float) -> float:
+        u = min(utilization, 0.999)
+        delay = self.service_ms * u / (1.0 - u)
+        return min(delay, self.max_queue_ms)

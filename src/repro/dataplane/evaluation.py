@@ -1,0 +1,147 @@
+"""Evaluate any routing solution on the E2E performance model.
+
+The Figure 11 bench hand-builds an :class:`E2ETestbed` from scheme
+placements; this module generalizes that into library surface: give it a
+:class:`~repro.core.routes.RoutingSolution` (from SB-LP, SB-DP, or a
+baseline) plus per-instance capacities, and it constructs the testbed --
+one E2E route per (chain, site-path) with demand split by the path's
+flow fractions -- and evaluates throughput and RTT under max-min
+fairness, queueing, and optional wide-area loss.
+
+Path decomposition: a solution stores per-stage *fractions*; routes for
+the E2E model need *paths*.  The standard flow decomposition applies:
+repeatedly peel off the path of maximum bottleneck fraction until the
+chain's flow is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.routes import RoutingSolution
+from repro.dataplane.e2e import E2EResult, E2ERoute, E2ETestbed, VnfInstanceSpec
+
+_EPS = 1e-9
+
+
+class EvaluationError(Exception):
+    """Raised on inconsistent evaluation inputs."""
+
+
+@dataclass(frozen=True)
+class DecomposedPath:
+    """One site path carrying a fraction of a chain's demand."""
+
+    chain: str
+    sites: tuple[str, ...]
+    fraction: float
+
+
+def decompose_paths(
+    solution: RoutingSolution, chain_name: str, max_paths: int = 64
+) -> list[DecomposedPath]:
+    """Flow decomposition of one chain's stage fractions into paths."""
+    model = solution.model
+    chain = model.chains[chain_name]
+    # Mutable copy of the stage flows.
+    residual: list[dict[tuple[str, str], float]] = [
+        dict(solution.stage_flows(chain_name, z))
+        for z in range(1, chain.num_stages + 1)
+    ]
+    paths: list[DecomposedPath] = []
+    for _ in range(max_paths):
+        # Greedy widest path through the residual stage graph.
+        path = [chain.ingress]
+        amounts: list[float] = []
+        ok = True
+        for z, flows in enumerate(residual):
+            current = path[-1]
+            candidates = {
+                dst: frac
+                for (src, dst), frac in flows.items()
+                if src == current and frac > _EPS
+            }
+            if not candidates:
+                ok = False
+                break
+            dst = max(candidates, key=lambda d: (candidates[d], d))
+            amounts.append(candidates[dst])
+            path.append(dst)
+        if not ok or not amounts:
+            break
+        take = min(amounts)
+        for z, (src, dst) in enumerate(zip(path, path[1:])):
+            residual[z][(src, dst)] -= take
+        paths.append(DecomposedPath(chain_name, tuple(path), take))
+        if all(
+            frac <= _EPS for flows in residual for frac in flows.values()
+        ):
+            break
+    return paths
+
+
+def evaluate_solution(
+    solution: RoutingSolution,
+    instance_capacity_mbps: float,
+    demand_unit_mbps: float = 1.0,
+    rtt_scale: float = 2.0,
+    loss_per_wan_hop: float = 0.0,
+    min_wan_latency_ms: float = 1.0,
+) -> E2EResult:
+    """Evaluate a TE solution's carried throughput and latency.
+
+    Each (VNF, site) on any path becomes an instance of
+    ``instance_capacity_mbps``; each decomposed path becomes an E2E
+    route with demand ``fraction * chain demand * demand_unit_mbps``.
+    RTTs between sites are ``rtt_scale`` times the model's one-way
+    delays; hops longer than ``min_wan_latency_ms`` (one-way) optionally
+    carry ``loss_per_wan_hop`` for the TCP bound.
+    """
+    if instance_capacity_mbps <= 0:
+        raise EvaluationError("non-positive instance capacity")
+    model = solution.model
+
+    # RTT map over every (endpoint, endpoint) pair used below.
+    endpoints = set(model.nodes) | set(model.sites)
+    rtt = {}
+    for a in endpoints:
+        for b in endpoints:
+            if a == b:
+                continue
+            rtt[(a, b)] = rtt_scale * model.site_latency(a, b)
+    bed = E2ETestbed(rtt_ms=rtt)
+    if loss_per_wan_hop > 0:
+        for (a, b), value in rtt.items():
+            if value / rtt_scale >= min_wan_latency_ms:
+                bed.set_loss(a, b, loss_per_wan_hop)
+
+    created: set[str] = set()
+    route_count = 0
+    for chain_name, chain in model.chains.items():
+        demand = chain.stage_traffic(1) * demand_unit_mbps
+        if demand <= 0:
+            continue
+        for path in decompose_paths(solution, chain_name):
+            instances = []
+            for position, site in enumerate(path.sites[1:-1], start=1):
+                vnf_name = chain.vnf_at(position)
+                inst = f"{vnf_name}@{site}"
+                if inst not in created:
+                    bed.add_instance(
+                        VnfInstanceSpec(inst, site, instance_capacity_mbps)
+                    )
+                    created.add(inst)
+                instances.append(inst)
+            route_demand = path.fraction * demand
+            if route_demand <= _EPS:
+                continue
+            route_count += 1
+            bed.add_route(
+                E2ERoute(
+                    f"{chain_name}#{route_count}",
+                    list(path.sites),
+                    instances,
+                    route_demand,
+                )
+            )
+    return bed.evaluate()

@@ -1,0 +1,114 @@
+"""Flow-state migration between forwarders (the OpenNF-style transfer).
+
+Section 5.3: "elastic scaling or failure of a forwarder may remap a VNF
+instance to another forwarder, violating flow affinity.  To safely
+change the VNF-to-forwarder mapping, flow table entries can be
+transferred across forwarders using recent proposals such as OpenNF."
+
+:func:`migrate_flows` implements the loss-free half of that proposal for
+the simulated data plane: matching flow-table entries (optionally
+filtered by chain) move from a source forwarder to a destination,
+together with the VNF instances the entries reference, so that existing
+connections keep their instance bindings when the fleet is resized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataplane.forwarder import Forwarder, ForwardingError
+
+
+class MigrationError(Exception):
+    """Raised when a flow migration cannot be performed safely."""
+
+
+@dataclass
+class MigrationReport:
+    """Outcome of one migration."""
+
+    entries_moved: int
+    instances_moved: list[str]
+
+
+def migrate_flows(
+    src: Forwarder,
+    dst: Forwarder,
+    chain_label: int | None = None,
+    move_instances: bool = True,
+) -> MigrationReport:
+    """Transfer flow state (and instance attachments) from src to dst.
+
+    Entries whose ``local_instance`` refers to an instance attached at
+    the source are only safe to move if the instance itself moves (or is
+    already attached at the destination); with ``move_instances=False``
+    such entries raise :class:`MigrationError` instead of silently
+    breaking affinity.
+
+    Both forwarders must be at the same site -- a VNF instance and its
+    forwarder share an L2 domain (Section 5.1).
+    """
+    if src.site != dst.site:
+        raise MigrationError(
+            f"cannot migrate across sites ({src.site!r} -> {dst.site!r}): "
+            "VNF instances and forwarders share an L2 domain"
+        )
+    if not hasattr(src.flow_table, "items"):
+        raise MigrationError(
+            "source flow table does not support enumeration (DHT-backed "
+            "tables do not need migration)"
+        )
+
+    selected = [
+        (key, entry)
+        for key, entry in src.flow_table.items()
+        if chain_label is None or key.labels.chain == chain_label
+    ]
+
+    needed_instances: set[str] = set()
+    for _key, entry in selected:
+        if entry.local_instance and entry.local_instance in src.attached:
+            if entry.local_instance not in dst.attached:
+                needed_instances.add(entry.local_instance)
+    if needed_instances and not move_instances:
+        raise MigrationError(
+            f"entries reference instances not attached at {dst.name!r}: "
+            f"{sorted(needed_instances)}"
+        )
+
+    moved_instances: list[str] = []
+    for name in sorted(needed_instances):
+        instance = src.attached[name]
+        src.detach(name)
+        try:
+            dst.attach(instance)
+        except ForwardingError as exc:  # pragma: no cover - site checked above
+            raise MigrationError(str(exc)) from exc
+        moved_instances.append(name)
+
+    for key, entry in selected:
+        dst.flow_table.adopt(key, entry)
+        src.flow_table.remove(key.labels, key.flow)
+
+    return MigrationReport(len(selected), moved_instances)
+
+
+def drain_forwarder(
+    src: Forwarder,
+    dst: Forwarder,
+) -> MigrationReport:
+    """Fully evacuate a forwarder before decommissioning it: move every
+    flow entry, every attached instance, and every rule."""
+    report = migrate_flows(src, dst, chain_label=None, move_instances=True)
+    # Any instances without active flows still need a forwarder.
+    for name in list(src.attached):
+        instance = src.attached[name]
+        src.detach(name)
+        if name not in dst.attached:
+            dst.attach(instance)
+            report.instances_moved.append(name)
+    for (chain_label, egress_site), rule in src.rules.items():
+        if (chain_label, egress_site) not in dst.rules:
+            dst.install_rule(chain_label, egress_site, rule)
+    src.rules.clear()
+    return report

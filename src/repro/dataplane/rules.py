@@ -1,0 +1,133 @@
+"""Weighted load-balancing rules and hierarchical weights (Section 5.2).
+
+A forwarder installs, per (chain label, egress label):
+
+1. a rule over the VNF instances it fronts at its site,
+2. a rule over the forwarders adjoining the *next* VNF in the chain,
+3. a rule over the forwarders adjoining the *previous* VNF.
+
+Weights are hierarchical: the product of the site-level traffic-
+engineering fraction (the ``x_{c z n1 n2}`` variable) with the weight of
+the instance or forwarder at that site.  A VNF instance publishes its own
+weight on the message bus; a forwarder's weight is the sum of the weights
+of the VNF instances it fronts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+class RuleError(Exception):
+    """Raised on malformed load-balancing rules."""
+
+
+class WeightedChoice:
+    """A weighted set of targets with deterministic selection.
+
+    Selection uses an explicit ``random.Random`` so experiments are
+    reproducible; weights of zero make a target ineligible without
+    removing it from the rule.
+    """
+
+    def __init__(self, weights: Mapping[str, float] | None = None):
+        self._weights: dict[str, float] = {}
+        if weights:
+            for target, weight in weights.items():
+                self.set_weight(target, weight)
+
+    def set_weight(self, target: str, weight: float) -> None:
+        if weight < 0:
+            raise RuleError(f"negative weight for {target!r}")
+        self._weights[target] = float(weight)
+
+    def remove(self, target: str) -> None:
+        self._weights.pop(target, None)
+
+    @property
+    def targets(self) -> list[str]:
+        return list(self._weights)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(self._weights.values())
+
+    def weight(self, target: str) -> float:
+        return self._weights.get(target, 0.0)
+
+    def pick(self, rng: random.Random) -> str:
+        """Pick a target with probability proportional to its weight."""
+        total = self.total_weight
+        if total <= 0:
+            raise RuleError("no eligible targets (all weights zero)")
+        point = rng.uniform(0.0, total)
+        acc = 0.0
+        chosen = None
+        for target, weight in self._weights.items():
+            if weight <= 0:
+                continue
+            acc += weight
+            chosen = target
+            if point <= acc:
+                break
+        assert chosen is not None
+        return chosen
+
+    def distribution(self) -> dict[str, float]:
+        """Normalized weights (useful for assertions in tests)."""
+        total = self.total_weight
+        if total <= 0:
+            return {}
+        return {t: w / total for t, w in self._weights.items() if w > 0}
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __repr__(self) -> str:
+        return f"WeightedChoice({self._weights!r})"
+
+
+@dataclass
+class LoadBalancingRule:
+    """The three weighted rule sets for one (chain, egress) at a forwarder."""
+
+    local_instances: WeightedChoice = field(default_factory=WeightedChoice)
+    next_forwarders: WeightedChoice = field(default_factory=WeightedChoice)
+    prev_forwarders: WeightedChoice = field(default_factory=WeightedChoice)
+
+
+def hierarchical_weights(
+    site_fractions: Mapping[str, float],
+    instance_weights: Mapping[str, Mapping[str, float]],
+) -> dict[str, float]:
+    """Combine site-level TE fractions with per-site instance weights.
+
+    ``site_fractions`` maps site -> the TE fraction ``x`` for that site;
+    ``instance_weights`` maps site -> {instance: weight}.  The result
+    assigns each instance ``site_fraction * instance_weight /
+    sum_of_site_instance_weights``, i.e. the product rule of Section 5.2.
+    """
+    combined: dict[str, float] = {}
+    for site, fraction in site_fractions.items():
+        if fraction < 0:
+            raise RuleError(f"negative site fraction for {site!r}")
+        weights = instance_weights.get(site, {})
+        total = sum(weights.values())
+        if total <= 0:
+            continue
+        for instance, weight in weights.items():
+            if weight < 0:
+                raise RuleError(f"negative instance weight for {instance!r}")
+            combined[instance] = fraction * weight / total
+    return combined
+
+
+def forwarder_weight(vnf_instance_weights: Mapping[str, float]) -> float:
+    """A forwarder's published weight: the sum of the weights of the VNF
+    instances it fronts (Section 5.2's example: weight of F2 = weight of
+    O1 + weight of O2)."""
+    if any(w < 0 for w in vnf_instance_weights.values()):
+        raise RuleError("negative VNF instance weight")
+    return sum(vnf_instance_weights.values())

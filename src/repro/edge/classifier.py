@@ -1,0 +1,101 @@
+"""Packet classification at the edge (Section 5.3, Conformity).
+
+"An edge instance applies the first service chain label by parsing and
+matching the packet header fields to the chain specification.  It
+applies the egress site label using a per-customer routing table that
+associates a destination address with an egress site."
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+
+from repro.dataplane.labels import FiveTuple
+
+
+class ClassifierError(Exception):
+    """Raised on malformed classifier rules."""
+
+
+def ip_in_prefix(ip: str, prefix: str) -> bool:
+    """True if ``ip`` falls inside the CIDR ``prefix``."""
+    return ipaddress.ip_address(ip) in ipaddress.ip_network(prefix, strict=False)
+
+
+@dataclass(frozen=True)
+class ClassifierRule:
+    """Matches a traffic slice onto a chain label.
+
+    Any field left as None is a wildcard.  Port ranges are inclusive.
+    Rules are evaluated in installation order; first match wins (the
+    usual longest-prefix nuance is delegated to rule ordering, as with
+    VLAN/flow classifiers on real CPE).
+    """
+
+    chain_label: int
+    src_prefix: str | None = None
+    dst_prefix: str | None = None
+    protocol: str | None = None
+    src_port_range: tuple[int, int] | None = None
+    dst_port_range: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        for prefix in (self.src_prefix, self.dst_prefix):
+            if prefix is not None:
+                ipaddress.ip_network(prefix, strict=False)  # validate
+        for ports in (self.src_port_range, self.dst_port_range):
+            if ports is not None and ports[0] > ports[1]:
+                raise ClassifierError(f"invalid port range {ports}")
+
+    def matches(self, flow: FiveTuple) -> bool:
+        if self.src_prefix is not None and not ip_in_prefix(
+            flow.src_ip, self.src_prefix
+        ):
+            return False
+        if self.dst_prefix is not None and not ip_in_prefix(
+            flow.dst_ip, self.dst_prefix
+        ):
+            return False
+        if self.protocol is not None and flow.protocol != self.protocol:
+            return False
+        if self.src_port_range is not None and not (
+            self.src_port_range[0] <= flow.src_port <= self.src_port_range[1]
+        ):
+            return False
+        if self.dst_port_range is not None and not (
+            self.dst_port_range[0] <= flow.dst_port <= self.dst_port_range[1]
+        ):
+            return False
+        return True
+
+
+class EgressTable:
+    """Per-customer routing table: destination prefix -> egress site.
+
+    Longest-prefix match, as the VRF-based route redistribution the paper
+    references would provide.
+    """
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[ipaddress.IPv4Network | ipaddress.IPv6Network, str]] = []
+
+    def add_route(self, prefix: str, egress_site: str) -> None:
+        self._routes.append((ipaddress.ip_network(prefix, strict=False), egress_site))
+        self._routes.sort(key=lambda r: r[0].prefixlen, reverse=True)
+
+    def remove_route(self, prefix: str) -> bool:
+        network = ipaddress.ip_network(prefix, strict=False)
+        before = len(self._routes)
+        self._routes = [(p, s) for p, s in self._routes if p != network]
+        return len(self._routes) != before
+
+    def lookup(self, dst_ip: str) -> str | None:
+        address = ipaddress.ip_address(dst_ip)
+        for prefix, site in self._routes:
+            if address in prefix:
+                return site
+        return None
+
+    def __len__(self) -> int:
+        return len(self._routes)

@@ -1,0 +1,228 @@
+"""Simulated hosts and links.
+
+Messages sent between hosts experience, per directed link:
+
+- *queueing delay* behind earlier messages (FIFO, one transmitter),
+- *serialization delay* = size / bandwidth,
+- *propagation delay* = the link's configured one-way delay,
+- *drops* when the backlog of queued-but-untransmitted bytes exceeds the
+  link's buffer.
+
+These are exactly the effects that separate Switchboard's message-bus
+topology from full-mesh broadcast in Figure 9: broadcast serializes one
+copy per subscriber through the publisher's uplink, so its queueing delay
+explodes and buffers overflow, while the proxy topology sends one copy
+per *site*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.simnet.events import Simulator
+
+
+class NetworkError(Exception):
+    """Raised on invalid network construction or use."""
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static parameters of a directed link.
+
+    ``bandwidth_bps`` of ``None`` means infinite (no serialization delay
+    and no drops); ``buffer_bytes`` of ``None`` means an unbounded buffer.
+    """
+
+    delay_s: float
+    bandwidth_bps: float | None = None
+    buffer_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0:
+            raise NetworkError(f"negative link delay {self.delay_s}")
+        if self.bandwidth_bps is not None and self.bandwidth_bps <= 0:
+            raise NetworkError(f"non-positive bandwidth {self.bandwidth_bps}")
+        if self.buffer_bytes is not None and self.buffer_bytes <= 0:
+            raise NetworkError(f"non-positive buffer {self.buffer_bytes}")
+
+
+@dataclass
+class LinkStats:
+    """Counters accumulated by a directed link."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    bytes_dropped: int = 0
+
+
+@dataclass
+class _LinkState:
+    spec: LinkSpec
+    stats: LinkStats = field(default_factory=LinkStats)
+    # Time at which the transmitter finishes the last queued message.
+    busy_until: float = 0.0
+    # Bytes accepted but not yet fully serialized (the queue occupancy).
+    queued_bytes: int = 0
+
+
+class Host:
+    """A named endpoint attached to the simulated network.
+
+    A host delivers incoming messages to its registered receive callback.
+    The optional ``site`` attribute groups hosts for site-local (zero
+    link) communication, mirroring how the paper colocates proxies,
+    forwarders, and VNF instances at a cloud site.
+    """
+
+    def __init__(self, network: "SimNetwork", name: str, site: str | None = None):
+        self.network = network
+        self.name = name
+        self.site = site
+        self._receiver: Callable[[str, Any], None] | None = None
+        self.received: list[tuple[float, str, Any]] = []
+
+    def on_receive(self, callback: Callable[[str, Any], None]) -> None:
+        """Register ``callback(sender_name, payload)`` for incoming messages."""
+        self._receiver = callback
+
+    def send(self, dst: str, payload: Any, size_bytes: int = 1000) -> bool:
+        """Send ``payload`` to host ``dst``.  Returns False if dropped."""
+        return self.network.send(self.name, dst, payload, size_bytes)
+
+    def _deliver(self, sender: str, payload: Any) -> None:
+        self.received.append((self.network.sim.now, sender, payload))
+        if self._receiver is not None:
+            self._receiver(sender, payload)
+
+
+class SimNetwork:
+    """Hosts connected by directed links with delay, bandwidth, and buffers."""
+
+    #: Link used between two hosts at the same site when no explicit link
+    #: exists: a fast local hop rather than a wide-area one.
+    LOCAL_LINK = LinkSpec(delay_s=0.0002, bandwidth_bps=10e9)
+
+    def __init__(self, sim: Simulator | None = None):
+        self.sim = sim if sim is not None else Simulator()
+        self._hosts: dict[str, Host] = {}
+        self._links: dict[tuple[str, str], _LinkState] = {}
+        self.default_link: LinkSpec | None = None
+
+    # -- construction -------------------------------------------------
+
+    def add_host(self, name: str, site: str | None = None) -> Host:
+        if name in self._hosts:
+            raise NetworkError(f"duplicate host {name!r}")
+        host = Host(self, name, site)
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise NetworkError(f"unknown host {name!r}") from None
+
+    @property
+    def hosts(self) -> list[Host]:
+        return list(self._hosts.values())
+
+    def connect(
+        self,
+        src: str,
+        dst: str,
+        spec: LinkSpec,
+        bidirectional: bool = True,
+    ) -> None:
+        """Install a link from ``src`` to ``dst`` (and back, by default)."""
+        for name in (src, dst):
+            if name not in self._hosts:
+                raise NetworkError(f"unknown host {name!r}")
+        if src == dst:
+            raise NetworkError("cannot connect a host to itself")
+        self._links[(src, dst)] = _LinkState(spec=spec)
+        if bidirectional:
+            self._links[(dst, src)] = _LinkState(spec=spec)
+
+    def link_stats(self, src: str, dst: str) -> LinkStats:
+        state = self._links.get((src, dst))
+        if state is None:
+            raise NetworkError(f"no link {src!r} -> {dst!r}")
+        return state.stats
+
+    # -- transmission --------------------------------------------------
+
+    def _resolve_link(self, src: str, dst: str) -> _LinkState | None:
+        state = self._links.get((src, dst))
+        if state is not None:
+            return state
+        src_host, dst_host = self._hosts[src], self._hosts[dst]
+        if src_host.site is not None and src_host.site == dst_host.site:
+            # Lazily materialize a site-local link so queueing state
+            # persists across messages.
+            state = _LinkState(spec=self.LOCAL_LINK)
+            self._links[(src, dst)] = state
+            return state
+        if self.default_link is not None:
+            state = _LinkState(spec=self.default_link)
+            self._links[(src, dst)] = state
+            return state
+        return None
+
+    def send(self, src: str, dst: str, payload: Any, size_bytes: int = 1000) -> bool:
+        """Send a message; returns False if it was dropped at the queue."""
+        if src not in self._hosts:
+            raise NetworkError(f"unknown host {src!r}")
+        if dst not in self._hosts:
+            raise NetworkError(f"unknown host {dst!r}")
+        if size_bytes <= 0:
+            raise NetworkError(f"non-positive message size {size_bytes}")
+        state = self._resolve_link(src, dst)
+        if state is None:
+            raise NetworkError(f"no link {src!r} -> {dst!r} and no default link")
+
+        spec, stats = state.spec, state.stats
+        stats.sent += 1
+        stats.bytes_sent += size_bytes
+
+        now = self.sim.now
+        if spec.bandwidth_bps is None:
+            self.sim.schedule(
+                spec.delay_s, self._hosts[dst]._deliver, src, payload
+            )
+            stats.delivered += 1
+            stats.bytes_delivered += size_bytes
+            return True
+
+        if (
+            spec.buffer_bytes is not None
+            and state.queued_bytes + size_bytes > spec.buffer_bytes
+        ):
+            stats.dropped += 1
+            stats.bytes_dropped += size_bytes
+            return False
+
+        serialization = size_bytes * 8 / spec.bandwidth_bps
+        start = max(now, state.busy_until)
+        done = start + serialization
+        state.busy_until = done
+        state.queued_bytes += size_bytes
+        self.sim.schedule_at(done, self._drain, state, size_bytes)
+        self.sim.schedule_at(
+            done + spec.delay_s, self._hosts[dst]._deliver, src, payload
+        )
+        stats.delivered += 1
+        stats.bytes_delivered += size_bytes
+        return True
+
+    def _drain(self, state: _LinkState, size_bytes: int) -> None:
+        state.queued_bytes -= size_bytes
+
+    def run(self, until: float | None = None) -> None:
+        """Convenience passthrough to the underlying simulator."""
+        self.sim.run(until=until)

@@ -1,0 +1,112 @@
+"""Generator-based processes for the discrete-event simulator.
+
+Callback-style event code (as in :mod:`repro.controller.protocol`) gets
+hard to read past a few steps.  A :class:`Process` lets sequential
+simulated behaviour be written as a generator that yields what it waits
+for::
+
+    def worker(proc):
+        yield 1.5                      # sleep 1.5 simulated seconds
+        msg = yield proc.receive()     # wait for a message
+        yield 0.1
+        other.send(msg)
+
+    Process(sim, worker)
+
+Yield values:
+
+- a ``float``/``int`` -- sleep that many seconds;
+- a :class:`Mailbox` wait token (from :meth:`Process.receive`) -- block
+  until another process calls :meth:`Process.deliver`; the ``yield``
+  expression evaluates to the delivered payload.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator
+
+from repro.simnet.events import Simulator
+
+
+class ProcessError(Exception):
+    """Raised on invalid process operations."""
+
+
+class _ReceiveToken:
+    """Sentinel yielded to wait for a message."""
+
+    __slots__ = ()
+
+
+_RECEIVE = _ReceiveToken()
+
+
+class Process:
+    """A coroutine-style simulated process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        body: Callable[["Process"], Generator],
+        name: str = "process",
+    ):
+        self.sim = sim
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self._mailbox: deque[Any] = deque()
+        self._waiting_for_message = False
+        self._generator = body(self)
+        sim.schedule(0.0, self._step, None)
+
+    # -- API used inside the body -----------------------------------------
+
+    def receive(self) -> _ReceiveToken:
+        """Yield this to block until a message is delivered."""
+        return _RECEIVE
+
+    # -- API used by other processes -----------------------------------------
+
+    def deliver(self, payload: Any) -> None:
+        """Send a message to this process (wakes it if it is waiting)."""
+        if self.finished:
+            raise ProcessError(f"process {self.name!r} already finished")
+        self._mailbox.append(payload)
+        if self._waiting_for_message:
+            self._waiting_for_message = False
+            self.sim.schedule(0.0, self._step, self._mailbox.popleft())
+
+    # -- engine -------------------------------------------------------------------
+
+    def _step(self, send_value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            return
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                self._crash(ProcessError(f"negative sleep {yielded}"))
+                return
+            self.sim.schedule(float(yielded), self._step, None)
+        elif isinstance(yielded, _ReceiveToken):
+            if self._mailbox:
+                self.sim.schedule(0.0, self._step, self._mailbox.popleft())
+            else:
+                self._waiting_for_message = True
+        else:
+            self._crash(
+                ProcessError(
+                    f"process {self.name!r} yielded {yielded!r}; expected a "
+                    "delay or receive()"
+                )
+            )
+
+    def _crash(self, error: ProcessError) -> None:
+        self.finished = True
+        self._generator.close()
+        raise error

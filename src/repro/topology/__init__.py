@@ -1,0 +1,41 @@
+"""Synthetic tier-1 backbone and workloads for the Section 7.3 simulations.
+
+The paper's traffic-engineering evaluation uses the (proprietary) AT&T
+backbone topology plus a March-2015 traffic-matrix snapshot.  This
+package substitutes a synthetic continental-US backbone built from real
+city locations and populations:
+
+- :mod:`repro.topology.cities` -- the PoP city data (location,
+  population) used as graph vertices and gravity-model masses.
+- :mod:`repro.topology.backbone` -- the backbone graph: k-nearest-
+  neighbour mesh with fibre-delay latencies, heterogeneous link
+  capacities, and ECMP shortest-path routing fractions ``r_{n1 n2 e}``.
+- :mod:`repro.topology.traffic` -- gravity-model traffic matrices and
+  the 4:1 Switchboard:background split.
+- :mod:`repro.topology.workload` -- the chain workload generator
+  (VNF catalog with coverage-based placement, equal capacity division at
+  sites, chains of 3-5 VNFs in canonical order, ingress-proportional
+  demand).
+"""
+
+from repro.topology.backbone import Backbone, build_backbone
+from repro.topology.cities import City, DEFAULT_CITIES
+from repro.topology.timeseries import (
+    TimeVaryingTrafficMatrix,
+    diurnal_factor,
+)
+from repro.topology.traffic import TrafficMatrix, gravity_traffic_matrix
+from repro.topology.workload import WorkloadConfig, generate_workload
+
+__all__ = [
+    "Backbone",
+    "City",
+    "DEFAULT_CITIES",
+    "TimeVaryingTrafficMatrix",
+    "TrafficMatrix",
+    "WorkloadConfig",
+    "build_backbone",
+    "diurnal_factor",
+    "generate_workload",
+    "gravity_traffic_matrix",
+]

@@ -1,0 +1,76 @@
+"""PoP city data for the synthetic tier-1 backbone.
+
+Twenty-five continental-US metro areas commonly hosting tier-1 PoPs.
+Coordinates are approximate city centres; populations are metro-area
+figures (millions, rounded) used as gravity-model masses.  The absolute
+values only shape the *skew* of the synthetic traffic matrix -- the
+reproduction does not depend on them being current.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class City:
+    """A backbone PoP location."""
+
+    name: str
+    lat: float
+    lon: float
+    population_m: float
+
+
+DEFAULT_CITIES: tuple[City, ...] = (
+    City("NYC", 40.71, -74.01, 19.8),
+    City("LAX", 34.05, -118.24, 13.0),
+    City("CHI", 41.88, -87.63, 9.6),
+    City("DFW", 32.78, -96.80, 7.6),
+    City("HOU", 29.76, -95.37, 7.1),
+    City("WDC", 38.91, -77.04, 6.3),
+    City("PHL", 39.95, -75.17, 6.2),
+    City("MIA", 25.76, -80.19, 6.1),
+    City("ATL", 33.75, -84.39, 6.1),
+    City("BOS", 42.36, -71.06, 4.9),
+    City("PHX", 33.45, -112.07, 4.9),
+    City("SFO", 37.77, -122.42, 4.7),
+    City("DET", 42.33, -83.05, 4.3),
+    City("SEA", 47.61, -122.33, 4.0),
+    City("MSP", 44.98, -93.27, 3.7),
+    City("SAN", 32.72, -117.16, 3.3),
+    City("TPA", 27.95, -82.46, 3.2),
+    City("DEN", 39.74, -104.99, 3.0),
+    City("STL", 38.63, -90.20, 2.8),
+    City("CLT", 35.23, -80.84, 2.7),
+    City("ORL", 28.54, -81.38, 2.7),
+    City("SAT", 29.42, -98.49, 2.6),
+    City("PDX", 45.52, -122.68, 2.5),
+    City("SLC", 40.76, -111.89, 1.3),
+    City("KCY", 39.10, -94.58, 2.2),
+)
+
+
+_EARTH_RADIUS_KM = 6371.0
+#: Effective propagation speed in fibre, km per millisecond.
+_FIBRE_KM_PER_MS = 200.0
+#: Fibre paths are longer than great circles (routing/conduit detours).
+_PATH_INFLATION = 1.3
+
+
+def great_circle_km(a: City, b: City) -> float:
+    """Great-circle distance between two cities in kilometres."""
+    lat1, lon1, lat2, lon2 = map(
+        math.radians, (a.lat, a.lon, b.lat, b.lon)
+    )
+    h = (
+        math.sin((lat2 - lat1) / 2) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin((lon2 - lon1) / 2) ** 2
+    )
+    return 2 * _EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def fibre_delay_ms(a: City, b: City) -> float:
+    """One-way propagation delay between two cities over fibre, in ms."""
+    return great_circle_km(a, b) * _PATH_INFLATION / _FIBRE_KM_PER_MS

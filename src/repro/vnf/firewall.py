@@ -1,0 +1,81 @@
+"""A stateful firewall network function (the paper's iptables firewall).
+
+Policy rules decide which *forward-direction* flows may be admitted;
+reverse packets are admitted only for connections the same instance has
+previously seen in the forward direction (ESTABLISHED state, as with
+iptables conntrack).  Because the connection state is per-instance, the
+firewall requires *flow affinity*: a later packet of an admitted flow
+that reached a different instance would be treated as unsolicited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataplane.forwarder import DropPacket
+from repro.dataplane.labels import FiveTuple, Packet
+from repro.edge.classifier import ip_in_prefix
+
+
+@dataclass(frozen=True)
+class FirewallRule:
+    """An allow rule; None fields are wildcards."""
+
+    src_prefix: str | None = None
+    dst_prefix: str | None = None
+    protocol: str | None = None
+    dst_port_range: tuple[int, int] | None = None
+
+    def matches(self, flow: FiveTuple) -> bool:
+        if self.src_prefix is not None and not ip_in_prefix(
+            flow.src_ip, self.src_prefix
+        ):
+            return False
+        if self.dst_prefix is not None and not ip_in_prefix(
+            flow.dst_ip, self.dst_prefix
+        ):
+            return False
+        if self.protocol is not None and flow.protocol != self.protocol:
+            return False
+        if self.dst_port_range is not None and not (
+            self.dst_port_range[0] <= flow.dst_port <= self.dst_port_range[1]
+        ):
+            return False
+        return True
+
+
+class StatefulFirewall:
+    """Per-instance stateful firewall with allow rules + conntrack."""
+
+    def __init__(self, rules: list[FirewallRule] | None = None,
+                 default_allow: bool = False):
+        self.rules = list(rules or [])
+        self.default_allow = default_allow
+        self._established: set[FiveTuple] = set()
+        self.admitted = 0
+        self.dropped = 0
+
+    def add_rule(self, rule: FirewallRule) -> None:
+        self.rules.append(rule)
+
+    def is_established(self, flow: FiveTuple) -> bool:
+        return flow in self._established
+
+    def __call__(self, packet: Packet) -> None:
+        flow = packet.flow
+        if packet.direction == "forward":
+            if flow in self._established:
+                self.admitted += 1
+                return
+            if any(rule.matches(flow) for rule in self.rules) or self.default_allow:
+                self._established.add(flow)
+                self.admitted += 1
+                return
+            self.dropped += 1
+            raise DropPacket(f"firewall: no rule admits {flow}")
+        # Reverse direction: only established connections may return.
+        if flow.reversed() in self._established:
+            self.admitted += 1
+            return
+        self.dropped += 1
+        raise DropPacket(f"firewall: unsolicited reverse packet {flow}")

@@ -1,0 +1,53 @@
+"""A traffic-shaper network function.
+
+Section 5.3 cites traffic shapers as the class of stateful VNF that
+needs *flow affinity but not symmetric return*: the token-bucket state
+for a flow lives in one instance, but nothing about the reverse
+direction must return there.
+
+The shaper is a classic token-bucket policer.  Time is advanced
+explicitly (``advance``) so behaviour is deterministic in tests and in
+the synchronous data-plane walker.
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.forwarder import DropPacket
+from repro.dataplane.labels import Packet
+
+
+class ShaperError(Exception):
+    """Raised on invalid shaper configuration."""
+
+class TokenBucketShaper:
+    """Token-bucket policer: ``rate`` bytes/s sustained, ``burst`` bytes
+    of headroom.  Packets that find insufficient tokens are dropped
+    (policing, as with ``tc police``)."""
+
+    def __init__(self, rate_bytes_per_s: float, burst_bytes: float):
+        if rate_bytes_per_s <= 0:
+            raise ShaperError(f"non-positive rate {rate_bytes_per_s}")
+        if burst_bytes <= 0:
+            raise ShaperError(f"non-positive burst {burst_bytes}")
+        self.rate = rate_bytes_per_s
+        self.burst = burst_bytes
+        self.tokens = burst_bytes
+        self.forwarded = 0
+        self.dropped = 0
+
+    def advance(self, seconds: float) -> None:
+        """Accumulate tokens for elapsed time."""
+        if seconds < 0:
+            raise ShaperError(f"negative time step {seconds}")
+        self.tokens = min(self.burst, self.tokens + seconds * self.rate)
+
+    def __call__(self, packet: Packet) -> None:
+        if packet.size_bytes <= self.tokens:
+            self.tokens -= packet.size_bytes
+            self.forwarded += 1
+            return
+        self.dropped += 1
+        raise DropPacket(
+            f"shaper: {packet.size_bytes}B packet exceeds "
+            f"{self.tokens:.0f}B of tokens"
+        )

@@ -1,0 +1,39 @@
+"""Shared fixtures for the Switchboard reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.model import Chain, CloudSite, NetworkModel, VNF
+
+
+@pytest.fixture
+def triangle_model() -> NetworkModel:
+    """Three nodes a-b-c with sites at each and two VNFs.
+
+    Latencies: a-b 10, b-c 15, a-c 30 -- going through b is attractive
+    for a->c traffic, which several routing tests exploit.
+    """
+    nodes = ["a", "b", "c"]
+    latency = {("a", "b"): 10.0, ("a", "c"): 30.0, ("b", "c"): 15.0}
+    sites = [
+        CloudSite("A", "a", 100.0),
+        CloudSite("B", "b", 100.0),
+        CloudSite("C", "c", 100.0),
+    ]
+    vnfs = [
+        VNF("fw", 1.0, {"A": 10.0, "B": 50.0}),
+        VNF("nat", 0.5, {"B": 50.0, "C": 50.0}),
+    ]
+    chains = [
+        Chain("c1", "a", "c", ["fw", "nat"], 5.0, 2.0),
+        Chain("c2", "b", "c", ["fw"], 3.0, 1.0),
+    ]
+    return NetworkModel(nodes, latency, sites, vnfs, chains)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)

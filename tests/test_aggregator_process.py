@@ -1,0 +1,178 @@
+"""Tests for the message aggregator and the coroutine process API."""
+
+import pytest
+
+from repro.bus import Topic, make_bus
+from repro.bus.aggregator import AggregatorError, MessageAggregator
+from repro.simnet.events import Simulator
+from repro.simnet.process import Process, ProcessError
+
+SITES = ["S0", "S1"]
+TOPIC = Topic("c1", "e1", "G", "S0", "instances")
+
+
+def make_aggregating_bus(window_s=0.05):
+    bus = make_bus(SITES, wan_delay_s=0.02, uplink_bps=100e6)
+    bus.attach("lsb", "S0")
+    bus.attach("sub", "S1")
+    bus.subscribe("sub", TOPIC)
+    return bus, MessageAggregator(bus, "lsb", window_s=window_s)
+
+
+class TestMessageAggregator:
+    def test_items_within_window_become_one_publication(self):
+        bus, agg = make_aggregating_bus(window_s=0.05)
+        for i in range(8):
+            bus.network.sim.schedule(i * 0.005, agg.collect, TOPIC, f"u{i}")
+        bus.network.run()
+        assert bus.stats.published == 1
+        assert bus.stats.wan_messages == 1
+        payload = bus.clients["sub"].received[0][2]
+        assert payload["batch"] == [f"u{i}" for i in range(8)]
+
+    def test_items_across_windows_batch_separately(self):
+        bus, agg = make_aggregating_bus(window_s=0.05)
+        bus.network.sim.schedule(0.0, agg.collect, TOPIC, "a")
+        bus.network.sim.schedule(0.2, agg.collect, TOPIC, "b")
+        bus.network.run()
+        assert bus.stats.published == 2
+        assert agg.stats.compression == 1.0
+
+    def test_compression_statistic(self):
+        bus, agg = make_aggregating_bus(window_s=0.1)
+        for i in range(10):
+            bus.network.sim.schedule(i * 0.005, agg.collect, TOPIC, i)
+        bus.network.run()
+        assert agg.stats.compression == 10.0
+
+    def test_topics_batched_independently(self):
+        other = Topic("c2", "e1", "H", "S0", "forwarders")
+        bus, agg = make_aggregating_bus()
+        bus.subscribe("sub", other)
+        bus.network.sim.schedule(0.0, agg.collect, TOPIC, "x")
+        bus.network.sim.schedule(0.0, agg.collect, other, "y")
+        bus.network.run()
+        assert bus.stats.published == 2
+
+    def test_flush_all_publishes_immediately(self):
+        bus, agg = make_aggregating_bus(window_s=10.0)
+        agg.collect(TOPIC, "x")
+        assert agg.pending_items(TOPIC) == 1
+        agg.flush_all()
+        bus.network.run()
+        assert bus.stats.published == 1
+        assert agg.pending_items(TOPIC) == 0
+
+    def test_invalid_window_rejected(self):
+        bus, _ = make_aggregating_bus()
+        with pytest.raises(AggregatorError):
+            MessageAggregator(bus, "lsb", window_s=0.0)
+
+
+class TestProcess:
+    def test_sleep_advances_clock(self):
+        sim = Simulator()
+        times = []
+
+        def body(proc):
+            times.append(sim.now)
+            yield 1.5
+            times.append(sim.now)
+            yield 0.5
+            times.append(sim.now)
+
+        Process(sim, body)
+        sim.run()
+        assert times == [0.0, 1.5, 2.0]
+
+    def test_receive_blocks_until_delivery(self):
+        sim = Simulator()
+        got = []
+
+        def consumer(proc):
+            message = yield proc.receive()
+            got.append((sim.now, message))
+
+        consumer_proc = Process(sim, consumer)
+        sim.schedule(3.0, consumer_proc.deliver, "hello")
+        sim.run()
+        assert got == [(3.0, "hello")]
+
+    def test_queued_message_consumed_immediately(self):
+        sim = Simulator()
+        got = []
+
+        def consumer(proc):
+            yield 5.0
+            message = yield proc.receive()
+            got.append(message)
+
+        consumer_proc = Process(sim, consumer)
+        sim.schedule(1.0, consumer_proc.deliver, "early")
+        sim.run()
+        assert got == ["early"]
+
+    def test_result_captured_on_completion(self):
+        sim = Simulator()
+
+        def body(proc):
+            yield 1.0
+            return 42
+
+        proc = Process(sim, body)
+        sim.run()
+        assert proc.finished
+        assert proc.result == 42
+
+    def test_two_processes_ping_pong(self):
+        sim = Simulator()
+        transcript = []
+        procs = {}
+
+        def ping(proc):
+            yield 1.0
+            procs["pong"].deliver("ping")
+            reply = yield proc.receive()
+            transcript.append((sim.now, reply))
+
+        def pong(proc):
+            message = yield proc.receive()
+            transcript.append((sim.now, message))
+            yield 2.0
+            procs["ping"].deliver("pong")
+
+        procs["ping"] = Process(sim, ping, name="ping")
+        procs["pong"] = Process(sim, pong, name="pong")
+        sim.run()
+        assert transcript == [(1.0, "ping"), (3.0, "pong")]
+
+    def test_deliver_to_finished_process_rejected(self):
+        sim = Simulator()
+
+        def body(proc):
+            yield 0.1
+
+        proc = Process(sim, body)
+        sim.run()
+        with pytest.raises(ProcessError):
+            proc.deliver("late")
+
+    def test_bad_yield_value_crashes(self):
+        sim = Simulator()
+
+        def body(proc):
+            yield "nonsense"
+
+        Process(sim, body)
+        with pytest.raises(ProcessError):
+            sim.run()
+
+    def test_negative_sleep_crashes(self):
+        sim = Simulator()
+
+        def body(proc):
+            yield -1.0
+
+        Process(sim, body)
+        with pytest.raises(ProcessError):
+            sim.run()

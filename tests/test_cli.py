@@ -1,0 +1,65 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_route_defaults(self):
+        args = build_parser().parse_args(["route"])
+        assert args.chains == 40
+        assert args.scheme == "all"
+
+    def test_route_scheme_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["route", "--scheme", "magic"])
+
+
+class TestCommands:
+    def test_topology(self, capsys):
+        assert main(["topology", "--cities", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "PoPs           : 8" in out
+        assert "directed links" in out
+
+    def test_route_single_scheme(self, capsys):
+        assert main([
+            "route", "--chains", "5", "--cities", "8", "--scheme", "dp",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SB-DP" in out
+        assert "ANYCAST" not in out
+
+    def test_route_baselines(self, capsys):
+        assert main([
+            "route", "--chains", "5", "--cities", "8",
+            "--scheme", "anycast",
+        ]) == 0
+        assert "ANYCAST" in capsys.readouterr().out
+
+    def test_cache(self, capsys):
+        assert main(["cache", "--chains", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "shared" in out and "siloed" in out
+
+    def test_bus(self, capsys):
+        assert main([
+            "bus", "--sites", "4", "--publishes", "50", "--rate", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "broadcast" in out
+
+    def test_timing(self, capsys):
+        assert main(["timing"]) == 0
+        out = capsys.readouterr().out
+        assert "chain route update: 594 ms total" in out
+        assert "edge site addition: 567 ms" in out

@@ -1,0 +1,140 @@
+"""Tests for ANYCAST, COMPUTE-AWARE, and the carried-traffic scaler."""
+
+import pytest
+
+from repro.core.baselines import (
+    route_anycast,
+    route_compute_aware,
+    scale_to_capacity,
+)
+from repro.core.dp import route_chains_dp
+from repro.core.model import Chain, CloudSite, Link, NetworkModel, VNF
+
+
+def two_site_model(demand=5.0, cap_a=10.0, cap_b=50.0):
+    """The Figure 11 scenario: two sites, nearest one small."""
+    nodes = ["a", "b", "c"]
+    latency = {("a", "b"): 40.0, ("a", "c"): 5.0, ("b", "c"): 42.0}
+    sites = [CloudSite("A", "a", 1000.0), CloudSite("B", "b", 1000.0)]
+    vnfs = [VNF("fw", 1.0, {"A": cap_a, "B": cap_b})]
+    chains = [Chain("c1", "a", "c", ["fw"], demand, 0.0)]
+    return NetworkModel(nodes, latency, sites, vnfs, chains)
+
+
+class TestAnycast:
+    def test_picks_nearest_site_regardless_of_capacity(self):
+        model = two_site_model(demand=100.0, cap_a=1.0)
+        solution = route_anycast(model)
+        assert solution.fraction("c1", 1, "a", "A") == pytest.approx(1.0)
+
+    def test_offered_routing_may_violate_capacity(self):
+        model = two_site_model(demand=100.0, cap_a=1.0)
+        solution = route_anycast(model)
+        assert solution.violations()  # oversubscribed by design
+
+    def test_all_chains_routed(self):
+        model = two_site_model()
+        model.add_chain(Chain("c2", "b", "c", ["fw"], 1.0))
+        solution = route_anycast(model)
+        assert solution.routed_fraction("c1") == pytest.approx(1.0)
+        assert solution.routed_fraction("c2") == pytest.approx(1.0)
+
+    def test_deterministic_tiebreak(self):
+        model = two_site_model()
+        first = route_anycast(model).stage_flows("c1", 1)
+        second = route_anycast(model).stage_flows("c1", 1)
+        assert first == second
+
+
+class TestComputeAware:
+    def test_skips_full_site(self):
+        # A (near) too small for the whole chain: load 2*5=10 > 6.
+        model = two_site_model(demand=5.0, cap_a=6.0, cap_b=50.0)
+        solution = route_compute_aware(model)
+        flows = solution.stage_flows("c1", 1)
+        assert flows[("a", "A")] < 1.0
+        assert ("a", "B") in flows
+        solution.validate()
+
+    def test_sequential_chains_see_prior_load(self):
+        model = two_site_model(demand=5.0, cap_a=10.0, cap_b=50.0)
+        model.add_chain(Chain("c2", "a", "c", ["fw"], 5.0))
+        solution = route_compute_aware(model)
+        solution.validate()
+        # First chain fills A (load 10 = cap); second goes to B.
+        assert solution.fraction("c2", 1, "a", "B") == pytest.approx(1.0)
+
+    def test_unroutable_remainder_not_admitted(self):
+        model = two_site_model(demand=100.0, cap_a=6.0, cap_b=6.0)
+        solution = route_compute_aware(model)
+        assert solution.routed_fraction("c1") < 1.0
+        solution.validate()
+
+    def test_ignores_network_load(self):
+        # COMPUTE-AWARE considers only compute, so it happily saturates a
+        # link that the DP would avoid.
+        nodes = ["a", "b"]
+        latency = {("a", "b"): 10.0}
+        sites = [CloudSite("A", "a", 100.0), CloudSite("B", "b", 100.0)]
+        vnfs = [VNF("fw", 0.1, {"B": 100.0})]
+        chains = [Chain("c1", "a", "b", ["fw"], 10.0)]
+        links = [Link("ab", "a", "b", 4.0), Link("ba", "b", "a", 4.0)]
+        routing = {("a", "b"): {"ab": 1.0}, ("b", "a"): {"ba": 1.0}}
+        model = NetworkModel(nodes, latency, sites, vnfs, chains, links, routing)
+        ca = route_compute_aware(model)
+        assert ca.routed_fraction("c1") == pytest.approx(1.0)
+        assert ca.max_link_utilization() > 1.0  # oversubscribed link
+        dp = route_chains_dp(model)
+        assert dp.solution.max_link_utilization() <= 1.0 + 1e-9
+
+
+class TestScaleToCapacity:
+    def test_feasible_solution_unchanged(self):
+        model = two_site_model(demand=2.0, cap_a=50.0)
+        offered = route_anycast(model)
+        carried = scale_to_capacity(offered)
+        assert carried.throughput() == pytest.approx(offered.throughput())
+
+    def test_oversubscribed_chain_scaled_down(self):
+        model = two_site_model(demand=10.0, cap_a=10.0, cap_b=50.0)
+        offered = route_anycast(model)  # A gets load 20 on capacity 10
+        carried = scale_to_capacity(offered)
+        assert carried.routed_fraction("c1") == pytest.approx(0.5)
+        carried.validate()
+
+    def test_scaled_solution_is_always_feasible(self):
+        model = two_site_model(demand=1000.0, cap_a=3.0, cap_b=7.0)
+        model.add_chain(Chain("c2", "a", "c", ["fw"], 500.0))
+        carried = scale_to_capacity(route_anycast(model))
+        carried.validate()
+
+    def test_link_oversubscription_scaled(self):
+        nodes = ["a", "b"]
+        latency = {("a", "b"): 10.0}
+        sites = [CloudSite("A", "a", 100.0), CloudSite("B", "b", 100.0)]
+        vnfs = [VNF("fw", 0.01, {"B": 100.0})]
+        chains = [Chain("c1", "a", "b", ["fw"], 10.0)]
+        links = [Link("ab", "a", "b", 5.0), Link("ba", "b", "a", 5.0)]
+        routing = {("a", "b"): {"ab": 1.0}, ("b", "a"): {"ba": 1.0}}
+        model = NetworkModel(nodes, latency, sites, vnfs, chains, links, routing)
+        carried = scale_to_capacity(route_anycast(model))
+        assert carried.throughput() == pytest.approx(5.0, rel=1e-6)
+
+    def test_zero_capacity_resource_drops_chain(self):
+        model = two_site_model(demand=5.0)
+        model.vnfs["fw"] = VNF("fw", 1.0, {"A": 10.0, "B": 50.0, "C": 0.0})
+        # Route through a zero-capacity deployment by hand.
+        model.sites["C"] = CloudSite("C", "c", 0.0)
+        offered = route_anycast(model)
+        carried = scale_to_capacity(offered)
+        carried.validate()
+
+
+class TestSchemeOrdering:
+    def test_global_dp_beats_anycast_under_contention(self):
+        """The Figure 11 story: global optimization carries more traffic."""
+        model = two_site_model(demand=8.0, cap_a=10.0, cap_b=50.0)
+        model.add_chain(Chain("c2", "a", "c", ["fw"], 8.0))
+        anycast = scale_to_capacity(route_anycast(model))
+        dp = route_chains_dp(model)
+        assert dp.solution.throughput() > anycast.throughput()

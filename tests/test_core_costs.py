@@ -1,0 +1,87 @@
+"""Unit and property tests for the piecewise-linear convex cost function."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.costs import (
+    CostError,
+    FORTZ_THORUP,
+    PiecewiseLinearCost,
+    fortz_thorup_cost,
+)
+
+
+class TestConstruction:
+    def test_first_breakpoint_must_be_zero(self):
+        with pytest.raises(CostError):
+            PiecewiseLinearCost([0.5, 1.0], [1.0, 2.0])
+
+    def test_breakpoints_strictly_increasing(self):
+        with pytest.raises(CostError):
+            PiecewiseLinearCost([0.0, 1.0, 1.0], [1.0, 2.0, 3.0])
+
+    def test_slopes_non_decreasing(self):
+        with pytest.raises(CostError):
+            PiecewiseLinearCost([0.0, 1.0], [3.0, 2.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(CostError):
+            PiecewiseLinearCost([0.0, 1.0], [1.0])
+
+
+class TestEvaluation:
+    def test_zero_at_origin(self):
+        assert FORTZ_THORUP(0.0) == 0.0
+
+    def test_identity_slope_below_first_knee(self):
+        assert FORTZ_THORUP(0.2) == pytest.approx(0.2)
+
+    def test_known_value_at_one(self):
+        # 1/3 * 1 + 1/3 * 3 + (0.9 - 2/3) * 10 + 0.1 * 70
+        expected = 1 / 3 + 1.0 + (0.9 - 2 / 3) * 10 + 0.1 * 70
+        assert FORTZ_THORUP(1.0) == pytest.approx(expected)
+
+    def test_steep_above_capacity(self):
+        assert FORTZ_THORUP(1.2) > FORTZ_THORUP(1.0) + 500 * 0.1
+
+    def test_negative_utilization_rejected(self):
+        with pytest.raises(CostError):
+            FORTZ_THORUP(-0.1)
+
+    def test_module_level_helper_matches(self):
+        assert fortz_thorup_cost(0.7) == FORTZ_THORUP(0.7)
+
+    def test_marginal_matches_segment_slopes(self):
+        assert FORTZ_THORUP.marginal(0.1) == 1.0
+        assert FORTZ_THORUP.marginal(0.5) == 3.0
+        assert FORTZ_THORUP.marginal(0.95) == 70.0
+        assert FORTZ_THORUP.marginal(2.0) == 5000.0
+
+
+class TestConvexityProperties:
+    @given(st.floats(min_value=0.0, max_value=3.0))
+    def test_non_negative(self, u):
+        assert FORTZ_THORUP(u) >= 0.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=3.0),
+        st.floats(min_value=0.0, max_value=3.0),
+    )
+    def test_monotone(self, u1, u2):
+        lo, hi = sorted((u1, u2))
+        assert FORTZ_THORUP(lo) <= FORTZ_THORUP(hi) + 1e-12
+
+    @given(
+        st.floats(min_value=0.0, max_value=3.0),
+        st.floats(min_value=0.0, max_value=3.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_convex(self, u1, u2, t):
+        mid = t * u1 + (1 - t) * u2
+        chord = t * FORTZ_THORUP(u1) + (1 - t) * FORTZ_THORUP(u2)
+        assert FORTZ_THORUP(mid) <= chord + 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=3.0))
+    def test_continuity_no_jumps(self, u):
+        eps = 1e-7
+        assert abs(FORTZ_THORUP(u + eps) - FORTZ_THORUP(u)) < 1e-2

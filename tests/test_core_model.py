@@ -1,0 +1,196 @@
+"""Unit tests for the Table 1 network model."""
+
+import pytest
+
+from repro.core.model import Chain, CloudSite, Link, ModelError, NetworkModel, VNF
+
+
+class TestChain:
+    def test_scalar_traffic_broadcasts_to_stages(self):
+        chain = Chain("c", "a", "b", ["f1", "f2"], 4.0, 1.0)
+        assert chain.num_stages == 3
+        assert chain.forward_traffic == (4.0, 4.0, 4.0)
+        assert chain.reverse_traffic == (1.0, 1.0, 1.0)
+
+    def test_per_stage_traffic_list(self):
+        chain = Chain("c", "a", "b", ["f1"], [4.0, 2.0], [1.0, 0.5])
+        assert chain.stage_traffic(1) == 5.0
+        assert chain.stage_traffic(2) == 2.5
+
+    def test_wrong_length_traffic_rejected(self):
+        with pytest.raises(ModelError):
+            Chain("c", "a", "b", ["f1"], [4.0, 2.0, 1.0])
+
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(ModelError):
+            Chain("c", "a", "b", ["f1"], -1.0)
+
+    def test_vnf_at_is_one_based(self):
+        chain = Chain("c", "a", "b", ["f1", "f2"])
+        assert chain.vnf_at(1) == "f1"
+        assert chain.vnf_at(2) == "f2"
+        with pytest.raises(ModelError):
+            chain.vnf_at(0)
+        with pytest.raises(ModelError):
+            chain.vnf_at(3)
+
+    def test_stage_out_of_range(self):
+        chain = Chain("c", "a", "b", ["f1"])
+        with pytest.raises(ModelError):
+            chain.stage_traffic(3)
+
+    def test_scaled_multiplies_all_stages(self):
+        chain = Chain("c", "a", "b", ["f1"], 4.0, 2.0)
+        scaled = chain.scaled(0.5)
+        assert scaled.forward_traffic == (2.0, 2.0)
+        assert scaled.reverse_traffic == (1.0, 1.0)
+        assert scaled.name == chain.name
+
+    def test_empty_chain_has_one_stage(self):
+        chain = Chain("c", "a", "b", [])
+        assert chain.num_stages == 1
+
+
+class TestVnf:
+    def test_sites_lists_deployments(self):
+        vnf = VNF("f", 1.0, {"A": 5.0, "B": 3.0})
+        assert sorted(vnf.sites) == ["A", "B"]
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ModelError):
+            VNF("f", 1.0, {"A": -1.0})
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ModelError):
+            VNF("f", -0.5, {})
+
+    def test_with_sites_adds_capacity(self):
+        vnf = VNF("f", 1.0, {"A": 5.0})
+        grown = vnf.with_sites({"B": 2.0, "A": 1.0})
+        assert grown.site_capacity == {"A": 6.0, "B": 2.0}
+        assert vnf.site_capacity == {"A": 5.0}  # original untouched
+
+
+class TestLatency:
+    def test_symmetric_fallback(self, triangle_model):
+        assert triangle_model.latency("b", "a") == 10.0
+
+    def test_diagonal_defaults_to_zero(self, triangle_model):
+        assert triangle_model.latency("a", "a") == 0.0
+
+    def test_missing_pair_raises(self):
+        model = NetworkModel(["a", "b"], {})
+        with pytest.raises(ModelError):
+            model.latency("a", "b")
+
+    def test_site_latency_resolves_site_names(self, triangle_model):
+        assert triangle_model.site_latency("A", "B") == 10.0
+        assert triangle_model.site_latency("a", "B") == 10.0
+
+
+class TestStageEndpoints:
+    def test_stage_one_source_is_ingress(self, triangle_model):
+        chain = triangle_model.chains["c1"]
+        assert triangle_model.stage_sources(chain, 1) == ["a"]
+
+    def test_last_stage_destination_is_egress(self, triangle_model):
+        chain = triangle_model.chains["c1"]
+        assert triangle_model.stage_destinations(chain, 3) == ["c"]
+
+    def test_intermediate_stages_use_vnf_sites(self, triangle_model):
+        chain = triangle_model.chains["c1"]
+        assert sorted(triangle_model.stage_destinations(chain, 1)) == ["A", "B"]
+        assert sorted(triangle_model.stage_sources(chain, 2)) == ["A", "B"]
+        assert sorted(triangle_model.stage_destinations(chain, 2)) == ["B", "C"]
+
+
+class TestValidation:
+    def test_unknown_ingress_rejected(self, triangle_model):
+        with pytest.raises(ModelError):
+            triangle_model.add_chain(Chain("bad", "zz", "c", ["fw"]))
+
+    def test_unknown_vnf_rejected(self, triangle_model):
+        with pytest.raises(ModelError):
+            triangle_model.add_chain(Chain("bad", "a", "c", ["ghost"]))
+
+    def test_vnf_without_sites_rejected(self):
+        model = NetworkModel(
+            ["a", "b"],
+            {("a", "b"): 1.0},
+            [CloudSite("A", "a", 10.0)],
+            [VNF("f", 1.0, {})],
+        )
+        with pytest.raises(ModelError):
+            model.add_chain(Chain("c", "a", "b", ["f"]))
+
+    def test_duplicate_chain_rejected(self, triangle_model):
+        with pytest.raises(ModelError):
+            triangle_model.add_chain(Chain("c1", "a", "c", ["fw"]))
+
+    def test_site_on_unknown_node_rejected(self):
+        with pytest.raises(ModelError):
+            NetworkModel(["a"], {}, [CloudSite("X", "zz", 1.0)])
+
+    def test_vnf_at_unknown_site_rejected(self):
+        with pytest.raises(ModelError):
+            NetworkModel(["a"], {}, [], [VNF("f", 1.0, {"ghost": 1.0})])
+
+    def test_remove_chain(self, triangle_model):
+        triangle_model.remove_chain("c1")
+        assert "c1" not in triangle_model.chains
+        with pytest.raises(ModelError):
+            triangle_model.remove_chain("c1")
+
+
+class TestLinksAndRouting:
+    def make_model(self):
+        links = [
+            Link("ab", "a", "b", bandwidth=10.0, background=2.0),
+            Link("bc", "b", "c", bandwidth=10.0),
+        ]
+        routing = {("a", "c"): {"ab": 1.0, "bc": 1.0}, ("a", "b"): {"ab": 1.0}}
+        return NetworkModel(
+            ["a", "b", "c"],
+            {("a", "b"): 1.0, ("b", "c"): 1.0, ("a", "c"): 2.0},
+            links=links,
+            routing=routing,
+            mlu_limit=0.9,
+        )
+
+    def test_route_fraction_lookup(self):
+        model = self.make_model()
+        assert model.route_fraction("a", "c", "ab") == 1.0
+        assert model.route_fraction("a", "c", "zz") == 0.0
+        assert model.route_fraction("c", "a", "ab") == 0.0
+
+    def test_link_headroom_respects_mlu_and_background(self):
+        model = self.make_model()
+        assert model.link_headroom(model.links["ab"]) == pytest.approx(7.0)
+        assert model.link_headroom(model.links["bc"]) == pytest.approx(9.0)
+
+    def test_unknown_link_in_routing_rejected(self):
+        with pytest.raises(ModelError):
+            NetworkModel(
+                ["a", "b"],
+                {("a", "b"): 1.0},
+                routing={("a", "b"): {"ghost": 1.0}},
+            )
+
+    def test_non_positive_bandwidth_rejected(self):
+        with pytest.raises(ModelError):
+            Link("l", "a", "b", bandwidth=0.0)
+
+
+class TestCopies:
+    def test_copy_with_chains_shares_substrate(self, triangle_model):
+        copy = triangle_model.copy_with_chains([])
+        assert not copy.chains
+        assert copy.sites.keys() == triangle_model.sites.keys()
+        assert triangle_model.chains  # original untouched
+
+    def test_copy_with_vnfs_revalidates_chains(self, triangle_model):
+        with pytest.raises(ModelError):
+            triangle_model.copy_with_vnfs([VNF("other", 1.0, {})])
+
+    def test_total_demand_sums_stage_one(self, triangle_model):
+        assert triangle_model.total_demand() == pytest.approx(7.0 + 4.0)

@@ -1,0 +1,151 @@
+"""Tests for OpenNF-style flow migration between forwarders."""
+
+import random
+
+import pytest
+
+from repro.dataplane.forwarder import DataPlane, Forwarder, VnfInstance
+from repro.dataplane.labels import FiveTuple, Labels, Packet
+from repro.dataplane.migration import (
+    MigrationError,
+    drain_forwarder,
+    migrate_flows,
+)
+from repro.dataplane.rules import LoadBalancingRule, WeightedChoice
+
+LBL = Labels(chain=1, egress_site="E")
+
+
+def flow(i: int) -> FiveTuple:
+    return FiveTuple("10.0.0.1", "20.0.0.1", "tcp", 1000 + i, 80)
+
+
+class Sink:
+    def __init__(self, name="out"):
+        self.name = name
+        self.count = 0
+
+    def receive_from_chain(self, packet, came_from):
+        packet.record(self.name)
+        self.count += 1
+
+
+def build_fabric():
+    dp = DataPlane(random.Random(9))
+    f1 = dp.add_forwarder(Forwarder("f1", "A"))
+    f2 = dp.add_forwarder(Forwarder("f2", "A"))
+    g1 = VnfInstance("g1", "G", "A")
+    f1.attach(g1)
+    sink = Sink()
+    dp.add_endpoint(sink)
+    rule = LoadBalancingRule(
+        local_instances=WeightedChoice({"g1": 1.0}),
+        next_forwarders=WeightedChoice({"out": 1.0}),
+    )
+    f1.install_rule(1, "E", rule)
+    return dp, f1, f2, g1, sink
+
+
+def establish(dp, n=8):
+    traces = {}
+    for i in range(n):
+        packet = Packet(flow(i), labels=LBL)
+        dp.send_forward(packet, "f1", "edge")
+        traces[i] = list(packet.trace)
+    return traces
+
+
+class TestMigrateFlows:
+    def test_moves_entries_and_instances(self):
+        dp, f1, f2, g1, _sink = build_fabric()
+        establish(dp)
+        report = migrate_flows(f1, f2)
+        assert report.entries_moved == 8
+        assert report.instances_moved == ["g1"]
+        assert len(f1.flow_table) == 0
+        assert len(f2.flow_table) == 8
+        assert "g1" in f2.attached and "g1" not in f1.attached
+
+    def test_existing_flows_keep_instance_at_new_forwarder(self):
+        dp, f1, f2, g1, _sink = build_fabric()
+        establish(dp)
+        migrate_flows(f1, f2)
+        f2.install_rule(
+            1,
+            "E",
+            LoadBalancingRule(
+                local_instances=WeightedChoice({"g1": 1.0}),
+                next_forwarders=WeightedChoice({"out": 1.0}),
+            ),
+        )
+        before = g1.packets_processed
+        packet = Packet(flow(0), labels=LBL)
+        dp.send_forward(packet, "f2", "edge")
+        assert g1.packets_processed == before + 1
+        assert "g1" in packet.trace
+
+    def test_chain_filter_moves_only_matching(self):
+        dp, f1, f2, _g1, _sink = build_fabric()
+        other = Labels(chain=2, egress_site="E")
+        f1.install_rule(
+            2, "E",
+            LoadBalancingRule(next_forwarders=WeightedChoice({"out": 1.0})),
+        )
+        establish(dp, 4)
+        dp.send_forward(Packet(flow(50), labels=other), "f1", "edge")
+        report = migrate_flows(f1, f2, chain_label=1)
+        assert report.entries_moved == 4
+        assert len(f1.flow_table) == 1  # the chain-2 entry stays
+
+    def test_cross_site_migration_rejected(self):
+        dp = DataPlane(random.Random(0))
+        f1 = dp.add_forwarder(Forwarder("f1", "A"))
+        f3 = dp.add_forwarder(Forwarder("f3", "B"))
+        with pytest.raises(MigrationError):
+            migrate_flows(f1, f3)
+
+    def test_move_instances_false_raises_when_needed(self):
+        dp, f1, f2, _g1, _sink = build_fabric()
+        establish(dp)
+        with pytest.raises(MigrationError):
+            migrate_flows(f1, f2, move_instances=False)
+        # Nothing was half-moved.
+        assert len(f1.flow_table) == 8
+
+    def test_move_instances_false_ok_when_instance_already_there(self):
+        dp, f1, f2, g1, _sink = build_fabric()
+        establish(dp)
+        f1.detach("g1")
+        f2.attach(g1)
+        report = migrate_flows(f1, f2, move_instances=False)
+        assert report.entries_moved == 8
+        assert report.instances_moved == []
+
+    def test_empty_migration(self):
+        _dp, f1, f2, _g1, _sink = build_fabric()
+        report = migrate_flows(f1, f2)
+        assert report.entries_moved == 0
+
+
+class TestDrainForwarder:
+    def test_drain_moves_everything(self):
+        dp, f1, f2, _g1, sink = build_fabric()
+        establish(dp)
+        report = drain_forwarder(f1, f2)
+        assert report.entries_moved == 8
+        assert not f1.rules
+        assert not f1.attached
+        assert (1, "E") in f2.rules
+        # New flows arrive at f2 and still work.
+        packet = Packet(flow(99), labels=LBL)
+        dp.send_forward(packet, "f2", "edge")
+        assert packet.trace[-1] == "out"
+
+    def test_drain_moves_idle_instances(self):
+        dp, f1, f2, _g1, _sink = build_fabric()
+        idle = VnfInstance("idle", "G", "A")
+        f1.attach(idle)
+        establish(dp, 2)
+        report = drain_forwarder(f1, f2)
+        assert "idle" in report.instances_moved
+        assert "idle" in f2.attached

@@ -1,0 +1,138 @@
+"""Tests for the OVS/DPDK forwarder performance models (Figures 7-8)."""
+
+import pytest
+
+from repro.dataplane.perfmodel import (
+    DpdkForwarderModel,
+    OvsForwarderModel,
+    PerfModelError,
+    pps_to_gbps,
+)
+
+
+class TestConversions:
+    def test_paper_headline_20mpps_is_80gbps_at_500b(self):
+        assert pps_to_gbps(20e6, 500) == pytest.approx(80.0)
+
+    def test_invalid_packet_size_rejected(self):
+        with pytest.raises(PerfModelError):
+            pps_to_gbps(1e6, 0)
+
+
+class TestOvsModel:
+    model = OvsForwarderModel()
+
+    def test_label_overhead_within_paper_band(self):
+        # "overlay labels (VXLAN+MPLS) add between 19-29% overhead"
+        assert self.model.label_overhead(1) == pytest.approx(0.29, abs=0.005)
+        assert self.model.label_overhead(50) == pytest.approx(0.19, abs=0.01)
+
+    def test_affinity_overhead_within_paper_band(self):
+        # "flow affinity rules further add between 33-44% overhead"
+        assert self.model.affinity_overhead(1) == pytest.approx(0.44, abs=0.005)
+        assert self.model.affinity_overhead(50) == pytest.approx(0.33, abs=0.01)
+
+    def test_overhead_decreases_with_flows(self):
+        # "With more concurrent flows, the overhead reduces."
+        overheads = [self.model.label_overhead(f) for f in (1, 5, 20, 50)]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_config_ordering(self):
+        for flows in (1, 10, 50):
+            bridge = self.model.throughput_pps("bridge", flows)
+            labels = self.model.throughput_pps("labels", flows)
+            affinity = self.model.throughput_pps("labels+affinity", flows)
+            assert bridge > labels > affinity
+
+    def test_flow_scaling_collapse(self):
+        # "poor scalability upon increasing the number of flows"
+        small = self.model.throughput_pps("labels+affinity", 50)
+        large = self.model.throughput_pps("labels+affinity", 50_000)
+        assert large < small / 5
+
+    def test_bridge_unaffected_below_cache_limit(self):
+        assert self.model.throughput_pps("bridge", 1) == pytest.approx(
+            self.model.throughput_pps("bridge", 1000)
+        )
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(PerfModelError):
+            self.model.throughput_pps("magic", 1)
+
+    def test_zero_flows_rejected(self):
+        with pytest.raises(PerfModelError):
+            self.model.throughput_pps("bridge", 0)
+
+
+class TestDpdkModel:
+    model = DpdkForwarderModel()
+
+    def test_single_core_small_flows_near_7mpps(self):
+        # "a high throughput of up to 7 million pkts/sec with only a
+        # single CPU core"
+        pps = self.model.throughput_pps(cores=1, flows_per_core=10_000)
+        assert pps == pytest.approx(7.2e6, rel=0.05)
+
+    def test_six_cores_512k_flows_exceeds_20mpps(self):
+        # "six forwarder instances store entries for a total of 3 million
+        # flows while still achieving more than 20 Mpps"
+        pps = self.model.throughput_pps(cores=6, flows_per_core=512_000)
+        assert pps > 20e6
+
+    def test_per_core_increment_3_to_4_mpps_at_scale(self):
+        # "Each additional forwarder instance increases the throughput by
+        # 3-4 Mpps" (at the 512K-flow operating point).
+        one = self.model.throughput_pps(1, 512_000)
+        two = self.model.throughput_pps(2, 512_000)
+        assert 3e6 <= two - one <= 4.6e6
+
+    def test_steady_state_above_3mpps(self):
+        # "throughput of a single forwarder core reaches a steady-state
+        # value in excess of 3 Mpps"
+        assert self.model.steady_state_pps() > 3e6
+        assert self.model.per_core_pps(50_000_000) == pytest.approx(
+            self.model.steady_state_pps(), rel=0.01
+        )
+
+    def test_throughput_decreases_with_flows(self):
+        # "throughput reduces with an increase in the number of flows due
+        # to lower CPU cache hit rates"
+        rates = [
+            self.model.per_core_pps(flows)
+            for flows in (1000, 300_000, 512_000, 2_000_000)
+        ]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_cores_scale_linearly(self):
+        one = self.model.throughput_pps(1, 100_000)
+        four = self.model.throughput_pps(4, 100_000)
+        assert four == pytest.approx(4 * one)
+
+    def test_miss_rate_zero_when_cached(self):
+        assert self.model.miss_rate(100_000) == 0.0
+
+    def test_miss_rate_grows_toward_one(self):
+        assert self.model.miss_rate(512_000) == pytest.approx(0.5, abs=0.01)
+        assert self.model.miss_rate(100_000_000) > 0.99
+
+    def test_latency_low_at_low_load(self):
+        # "latency at low to moderate loads is typically a few tens of
+        # microseconds"
+        assert self.model.latency_us(0.1) < 50
+
+    def test_latency_capped_at_1ms_at_saturation(self):
+        # "latency introduced by forwarders at the maximum throughput is 1 ms"
+        assert self.model.latency_us(1.0) == pytest.approx(1000.0)
+        assert self.model.latency_us(5.0) == pytest.approx(1000.0)
+
+    def test_latency_monotone_in_load(self):
+        lats = [self.model.latency_us(u) for u in (0.0, 0.3, 0.6, 0.9, 0.99)]
+        assert lats == sorted(lats)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(PerfModelError):
+            self.model.throughput_pps(0, 100)
+        with pytest.raises(PerfModelError):
+            self.model.miss_rate(-1)
+        with pytest.raises(PerfModelError):
+            self.model.latency_us(-0.1)

@@ -1,0 +1,98 @@
+"""Property tests for flow decomposition: decompose -> recompose identity."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dp import route_chains_dp
+from repro.core.model import Chain, CloudSite, NetworkModel, VNF
+from repro.core.routes import RoutingSolution
+from repro.dataplane.evaluation import decompose_paths
+
+TOL = 1e-6
+
+
+@st.composite
+def solved_model(draw):
+    """A random multi-site model routed by SB-DP (may include splits)."""
+    rng = random.Random(draw(st.integers(0, 100_000)))
+    nodes = [f"n{i}" for i in range(draw(st.integers(3, 5)))]
+    coords = {n: (rng.uniform(0, 40), rng.uniform(0, 40)) for n in nodes}
+    latency = {}
+    for i, n1 in enumerate(nodes):
+        for n2 in nodes[i + 1:]:
+            (x1, y1), (x2, y2) = coords[n1], coords[n2]
+            latency[(n1, n2)] = ((x1 - x2) ** 2 + (y1 - y2) ** 2) ** 0.5 + 0.5
+    sites = [CloudSite(f"S{i}", n, rng.uniform(10, 60)) for i, n in enumerate(nodes)]
+    num_vnfs = draw(st.integers(1, 3))
+    vnfs = []
+    for v in range(num_vnfs):
+        deployments = rng.sample(sites, rng.randint(1, len(sites)))
+        vnfs.append(
+            VNF(f"f{v}", rng.uniform(0.5, 1.5),
+                {s.name: rng.uniform(3, 20) for s in deployments})
+        )
+    chains = []
+    for c in range(draw(st.integers(1, 3))):
+        ingress, egress = rng.sample(nodes, 2)
+        length = rng.randint(1, num_vnfs)
+        chains.append(
+            Chain(
+                f"c{c}", ingress, egress,
+                [f"f{v}" for v in sorted(rng.sample(range(num_vnfs), length))],
+                rng.uniform(0.5, 6.0),
+                rng.uniform(0.0, 1.5),
+            )
+        )
+    model = NetworkModel(nodes, latency, sites, vnfs, chains)
+    return model, route_chains_dp(model).solution
+
+
+@settings(max_examples=50, deadline=None)
+@given(solved_model())
+def test_decomposition_reconstructs_stage_flows(case):
+    model, solution = case
+    for chain_name, chain in model.chains.items():
+        paths = decompose_paths(solution, chain_name)
+        rebuilt = RoutingSolution(model)
+        for path in paths:
+            rebuilt.add_path(chain_name, list(path.sites), path.fraction)
+        for z in range(1, chain.num_stages + 1):
+            original = solution.stage_flows(chain_name, z)
+            recomposed = rebuilt.stage_flows(chain_name, z)
+            keys = set(original) | set(recomposed)
+            for key in keys:
+                assert original.get(key, 0.0) == pytest.approx(
+                    recomposed.get(key, 0.0), abs=1e-6
+                )
+
+
+@settings(max_examples=50, deadline=None)
+@given(solved_model())
+def test_decomposed_fractions_are_positive_and_bounded(case):
+    model, solution = case
+    for chain_name in model.chains:
+        paths = decompose_paths(solution, chain_name)
+        total = sum(p.fraction for p in paths)
+        assert total <= 1.0 + 1e-6
+        for path in paths:
+            assert path.fraction > 0
+            # Path structure: ingress, one site per VNF, egress.
+            chain = model.chains[chain_name]
+            assert len(path.sites) == len(chain.vnfs) + 2
+            assert path.sites[0] == chain.ingress
+            assert path.sites[-1] == chain.egress
+
+
+@settings(max_examples=50, deadline=None)
+@given(solved_model())
+def test_decomposed_paths_respect_vnf_deployments(case):
+    model, solution = case
+    for chain_name, chain in model.chains.items():
+        for path in decompose_paths(solution, chain_name):
+            for position, site in enumerate(path.sites[1:-1], start=1):
+                vnf = chain.vnf_at(position)
+                assert site in model.vnfs[vnf].site_capacity

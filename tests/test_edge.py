@@ -1,0 +1,196 @@
+"""Tests for edge classification, egress tables, instances, and controller."""
+
+import random
+
+import pytest
+
+from repro.dataplane import DataPlane, Forwarder, LoadBalancingRule, WeightedChoice
+from repro.dataplane.labels import FiveTuple, Labels, Packet
+from repro.edge.classifier import ClassifierError, ClassifierRule, EgressTable, ip_in_prefix
+from repro.edge.controller import EdgeController
+from repro.edge.instance import EdgeError, EdgeInstance
+
+FLOW = FiveTuple("10.0.0.5", "20.0.0.9", "tcp", 1234, 80)
+
+
+class TestPrefixMatching:
+    def test_ip_in_prefix(self):
+        assert ip_in_prefix("10.0.0.5", "10.0.0.0/24")
+        assert not ip_in_prefix("10.0.1.5", "10.0.0.0/24")
+        assert ip_in_prefix("10.0.1.5", "10.0.0.0/16")
+
+    def test_host_prefix(self):
+        assert ip_in_prefix("10.0.0.5", "10.0.0.5/32")
+
+
+class TestClassifierRule:
+    def test_wildcard_rule_matches_everything(self):
+        assert ClassifierRule(chain_label=1).matches(FLOW)
+
+    def test_src_prefix_filter(self):
+        rule = ClassifierRule(1, src_prefix="10.0.0.0/24")
+        assert rule.matches(FLOW)
+        assert not rule.matches(
+            FiveTuple("11.0.0.5", "20.0.0.9", "tcp", 1234, 80)
+        )
+
+    def test_protocol_filter(self):
+        rule = ClassifierRule(1, protocol="udp")
+        assert not rule.matches(FLOW)
+
+    def test_port_range_filter(self):
+        rule = ClassifierRule(1, dst_port_range=(80, 443))
+        assert rule.matches(FLOW)
+        assert not rule.matches(
+            FiveTuple("10.0.0.5", "20.0.0.9", "tcp", 1234, 8080)
+        )
+
+    def test_invalid_port_range_rejected(self):
+        with pytest.raises(ClassifierError):
+            ClassifierRule(1, dst_port_range=(443, 80))
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            ClassifierRule(1, src_prefix="not-an-ip/8")
+
+
+class TestEgressTable:
+    def test_longest_prefix_wins(self):
+        table = EgressTable()
+        table.add_route("20.0.0.0/8", "far")
+        table.add_route("20.0.0.0/24", "near")
+        assert table.lookup("20.0.0.9") == "near"
+        assert table.lookup("20.5.0.9") == "far"
+
+    def test_no_match_returns_none(self):
+        assert EgressTable().lookup("1.2.3.4") is None
+
+    def test_remove_route(self):
+        table = EgressTable()
+        table.add_route("20.0.0.0/24", "x")
+        assert table.remove_route("20.0.0.0/24")
+        assert not table.remove_route("20.0.0.0/24")
+        assert table.lookup("20.0.0.9") is None
+
+
+def make_edge_fabric():
+    dp = DataPlane(random.Random(4))
+    f_a = dp.add_forwarder(Forwarder("fA", "A"))
+    dp.add_forwarder(Forwarder("fC", "C"))
+    ingress = EdgeInstance("edgeA", "A", dp)
+    egress = EdgeInstance("edgeC", "C", dp)
+    ingress.attach_forwarder("fA")
+    egress.attach_forwarder("fC")
+    f_a.install_rule(
+        1, "C", LoadBalancingRule(next_forwarders=WeightedChoice({"edgeC": 1.0}))
+    )
+    return dp, ingress, egress
+
+
+class TestEdgeInstance:
+    def test_labels_applied_from_classifier_and_egress_table(self):
+        _dp, ingress, egress = make_edge_fabric()
+        ingress.install_classifier(ClassifierRule(1, src_prefix="10.0.0.0/24"))
+        ingress.egress_table.add_route("20.0.0.0/24", "C")
+        ingress.ingress(Packet(FLOW))
+        assert len(egress.delivered) == 1
+        delivered = egress.delivered[0]
+        assert delivered.labels is None  # stripped at the egress
+
+    def test_unclassified_traffic_not_forwarded(self):
+        _dp, ingress, egress = make_edge_fabric()
+        ingress.egress_table.add_route("20.0.0.0/24", "C")
+        ingress.ingress(Packet(FLOW))  # no classifier installed
+        assert not egress.delivered
+        assert len(ingress.unclassified) == 1
+
+    def test_no_egress_route_means_unclassified(self):
+        _dp, ingress, egress = make_edge_fabric()
+        ingress.install_classifier(ClassifierRule(1))
+        ingress.ingress(Packet(FLOW))
+        assert not egress.delivered
+        assert ingress.unclassified
+
+    def test_reverse_uses_remembered_forwarder(self):
+        _dp, ingress, egress = make_edge_fabric()
+        ingress.install_classifier(ClassifierRule(1, src_prefix="10.0.0.0/24"))
+        ingress.egress_table.add_route("20.0.0.0/24", "C")
+        ingress.ingress(Packet(FLOW))
+        rev = Packet(FLOW.reversed())
+        egress.send_reverse(rev)
+        assert rev.trace[-1] == "edgeA"
+
+    def test_reverse_without_state_raises(self):
+        _dp, _ingress, egress = make_edge_fabric()
+        with pytest.raises(Exception):
+            egress.send_reverse(Packet(FLOW.reversed()))
+
+    def test_ingress_without_forwarder_raises(self):
+        dp = DataPlane(random.Random(0))
+        lonely = EdgeInstance("lonely", "A", dp)
+        with pytest.raises(EdgeError):
+            lonely.ingress(Packet(FLOW))
+
+    def test_attach_requires_same_site(self):
+        dp = DataPlane(random.Random(0))
+        dp.add_forwarder(Forwarder("fB", "B"))
+        edge = EdgeInstance("edgeA", "A", dp)
+        with pytest.raises(EdgeError):
+            edge.attach_forwarder("fB")
+
+    def test_remove_classifier_by_label(self):
+        _dp, ingress, _egress = make_edge_fabric()
+        ingress.install_classifier(ClassifierRule(1))
+        ingress.install_classifier(ClassifierRule(2))
+        ingress.remove_classifier(1)
+        assert [r.chain_label for r in ingress.classifier] == [2]
+
+    def test_first_match_wins(self):
+        _dp, ingress, _egress = make_edge_fabric()
+        ingress.install_classifier(ClassifierRule(5, src_prefix="10.0.0.0/24"))
+        ingress.install_classifier(ClassifierRule(6))
+        assert ingress.classify(FLOW) == 5
+
+
+class TestEdgeController:
+    def test_resolve_site_from_attachment(self):
+        ctrl = EdgeController("vpn")
+        ctrl.register_attachment("office-1", "A")
+        assert ctrl.resolve_site("office-1") == "A"
+
+    def test_unknown_attachment_raises(self):
+        with pytest.raises(EdgeError):
+            EdgeController("vpn").resolve_site("ghost")
+
+    def test_install_chain_configures_all_site_instances(self):
+        dp = DataPlane(random.Random(0))
+        ctrl = EdgeController("vpn")
+        e1 = EdgeInstance("e1", "A", dp)
+        e2 = EdgeInstance("e2", "A", dp)
+        ctrl.register_instance(e1)
+        ctrl.register_instance(e2)
+        rule = ClassifierRule(7)
+        ctrl.install_chain("A", Labels(7, "C"), rule, [("20.0.0.0/24", "C")])
+        for instance in (e1, e2):
+            assert instance.classify(FLOW) == 7
+            assert instance.egress_table.lookup("20.0.0.9") == "C"
+
+    def test_install_chain_at_empty_site_raises(self):
+        with pytest.raises(EdgeError):
+            EdgeController("vpn").install_chain("A", Labels(1, "C"), None)
+
+    def test_remove_chain_clears_classifiers(self):
+        dp = DataPlane(random.Random(0))
+        ctrl = EdgeController("vpn")
+        e1 = EdgeInstance("e1", "A", dp)
+        ctrl.register_instance(e1)
+        ctrl.install_chain("A", Labels(7, "C"), ClassifierRule(7))
+        ctrl.remove_chain(Labels(7, "C"))
+        assert e1.classify(FLOW) is None
+
+    def test_sites_lists_registered_locations(self):
+        dp = DataPlane(random.Random(0))
+        ctrl = EdgeController("vpn")
+        ctrl.register_instance(EdgeInstance("e1", "B", dp))
+        ctrl.register_instance(EdgeInstance("e2", "A", dp))
+        assert ctrl.sites == ["A", "B"]

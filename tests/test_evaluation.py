@@ -1,0 +1,150 @@
+"""Tests for flow decomposition and TE-solution evaluation."""
+
+import pytest
+
+from repro.core.dp import route_chains_dp
+from repro.core.model import Chain, CloudSite, NetworkModel, VNF
+from repro.core.routes import RoutingSolution
+from repro.dataplane.evaluation import (
+    EvaluationError,
+    decompose_paths,
+    evaluate_solution,
+)
+
+
+def make_model(fw_caps=None, demand=4.0):
+    fw_caps = fw_caps or {"A": 100.0, "B": 100.0}
+    nodes = ["a", "b", "c"]
+    latency = {("a", "b"): 10.0, ("a", "c"): 30.0, ("b", "c"): 15.0}
+    sites = [
+        CloudSite("A", "a", 1000.0),
+        CloudSite("B", "b", 1000.0),
+    ]
+    vnfs = [VNF("fw", 1.0, dict(fw_caps))]
+    chains = [Chain("c1", "a", "c", ["fw"], demand)]
+    return NetworkModel(nodes, latency, sites, vnfs, chains)
+
+
+class TestDecomposition:
+    def test_single_path_solution(self):
+        model = make_model()
+        solution = RoutingSolution(model)
+        solution.add_path("c1", ["a", "B", "c"], 1.0)
+        paths = decompose_paths(solution, "c1")
+        assert len(paths) == 1
+        assert paths[0].sites == ("a", "B", "c")
+        assert paths[0].fraction == pytest.approx(1.0)
+
+    def test_split_solution_decomposes_exactly(self):
+        model = make_model()
+        solution = RoutingSolution(model)
+        solution.add_path("c1", ["a", "A", "c"], 0.3)
+        solution.add_path("c1", ["a", "B", "c"], 0.7)
+        paths = decompose_paths(solution, "c1")
+        assert len(paths) == 2
+        total = sum(p.fraction for p in paths)
+        assert total == pytest.approx(1.0)
+        by_site = {p.sites[1]: p.fraction for p in paths}
+        assert by_site == pytest.approx({"A": 0.3, "B": 0.7})
+
+    def test_widest_path_first(self):
+        model = make_model()
+        solution = RoutingSolution(model)
+        solution.add_path("c1", ["a", "A", "c"], 0.2)
+        solution.add_path("c1", ["a", "B", "c"], 0.8)
+        paths = decompose_paths(solution, "c1")
+        assert paths[0].sites[1] == "B"
+
+    def test_empty_solution_no_paths(self):
+        model = make_model()
+        solution = RoutingSolution(model)
+        assert decompose_paths(solution, "c1") == []
+
+    def test_dp_solution_decomposes_to_carried_fraction(self):
+        model = make_model(fw_caps={"A": 5.0, "B": 5.0}, demand=4.0)
+        result = route_chains_dp(model)
+        paths = decompose_paths(result.solution, "c1")
+        total = sum(p.fraction for p in paths)
+        assert total == pytest.approx(
+            result.solution.routed_fraction("c1"), abs=1e-6
+        )
+
+
+class TestEvaluateSolution:
+    def test_uncongested_solution_carries_demand(self):
+        model = make_model(demand=4.0)
+        result = route_chains_dp(model)
+        outcome = evaluate_solution(
+            result.solution, instance_capacity_mbps=100.0,
+            demand_unit_mbps=10.0,
+        )
+        assert outcome.total_throughput_mbps == pytest.approx(40.0)
+
+    def test_instance_capacity_caps_throughput(self):
+        model = make_model(demand=4.0)
+        solution = RoutingSolution(model)
+        solution.add_path("c1", ["a", "B", "c"], 1.0)
+        outcome = evaluate_solution(
+            solution, instance_capacity_mbps=25.0, demand_unit_mbps=10.0
+        )
+        assert outcome.total_throughput_mbps == pytest.approx(25.0)
+
+    def test_rtt_follows_model_latency(self):
+        model = make_model()
+        solution = RoutingSolution(model)
+        solution.add_path("c1", ["a", "B", "c"], 1.0)
+        outcome = evaluate_solution(
+            solution, instance_capacity_mbps=1000.0, demand_unit_mbps=1.0
+        )
+        route = next(iter(outcome.routes.values()))
+        # Path a->B->c: (10 + 15) one-way, times rtt_scale=2.
+        assert route.rtt_ms == pytest.approx(50.0, abs=1.0)
+
+    def test_split_evaluates_both_paths(self):
+        model = make_model(demand=4.0)
+        solution = RoutingSolution(model)
+        solution.add_path("c1", ["a", "A", "c"], 0.5)
+        solution.add_path("c1", ["a", "B", "c"], 0.5)
+        outcome = evaluate_solution(
+            solution, instance_capacity_mbps=100.0, demand_unit_mbps=10.0
+        )
+        assert len(outcome.routes) == 2
+        assert outcome.total_throughput_mbps == pytest.approx(40.0)
+
+    def test_loss_applies_to_wan_hops(self):
+        model = make_model(demand=50.0)
+        solution = RoutingSolution(model)
+        solution.add_path("c1", ["a", "B", "c"], 1.0)
+        lossless = evaluate_solution(
+            solution, instance_capacity_mbps=10_000.0,
+            demand_unit_mbps=10.0,
+        )
+        lossy = evaluate_solution(
+            solution, instance_capacity_mbps=10_000.0,
+            demand_unit_mbps=10.0, loss_per_wan_hop=1e-4,
+        )
+        assert (
+            lossy.total_throughput_mbps < lossless.total_throughput_mbps
+        )
+
+    def test_invalid_capacity_rejected(self):
+        model = make_model()
+        solution = RoutingSolution(model)
+        with pytest.raises(EvaluationError):
+            evaluate_solution(solution, instance_capacity_mbps=0.0)
+
+    def test_shared_instances_across_chains(self):
+        model = make_model(demand=4.0)
+        model.add_chain(Chain("c2", "b", "c", ["fw"], 4.0))
+        solution = RoutingSolution(model)
+        solution.add_path("c1", ["a", "B", "c"], 1.0)
+        solution.add_path("c2", ["b", "B", "c"], 1.0)
+        outcome = evaluate_solution(
+            solution, instance_capacity_mbps=60.0, demand_unit_mbps=10.0
+        )
+        # Both chains share fw@B (60 Mbps): max-min gives 30 each.
+        assert outcome.total_throughput_mbps == pytest.approx(60.0)
+        rates = sorted(
+            m.throughput_mbps for m in outcome.routes.values()
+        )
+        assert rates == pytest.approx([30.0, 30.0])

@@ -1,0 +1,212 @@
+"""Tests for site-failure recovery and demand re-optimization."""
+
+import random
+
+import pytest
+
+from repro.controller import (
+    ChainSpecification,
+    GlobalSwitchboard,
+    LocalSwitchboard,
+    fail_site,
+    reoptimize,
+    restore_site,
+)
+from repro.controller.failures import FailureError, chains_through_site
+from repro.core.model import CloudSite, NetworkModel, VNF
+from repro.dataplane import DataPlane, FiveTuple, Packet
+from repro.edge import EdgeController, EdgeInstance
+from repro.vnf import VnfService
+
+
+def build_deployment(cap_a=40.0, cap_b=40.0):
+    nodes = ["a", "b", "c"]
+    latency = {("a", "b"): 10.0, ("a", "c"): 30.0, ("b", "c"): 15.0}
+    sites = [
+        CloudSite("A", "a", 100.0),
+        CloudSite("B", "b", 100.0),
+        CloudSite("C", "c", 100.0),
+    ]
+    vnfs = [VNF("fw", 1.0, {"A": cap_a, "B": cap_b})]
+    model = NetworkModel(nodes, latency, sites, vnfs)
+    dp = DataPlane(random.Random(5))
+    gs = GlobalSwitchboard(model, dp)
+    for site in ("A", "B", "C"):
+        gs.register_local_switchboard(LocalSwitchboard(site, dp))
+    service = VnfService("fw", 1.0, {"A": cap_a, "B": cap_b})
+    gs.register_vnf_service(service)
+    edge = EdgeController("vpn")
+    ingress = EdgeInstance("edge.A", "A", dp)
+    egress = EdgeInstance("edge.C", "C", dp)
+    edge.register_instance(ingress)
+    edge.register_instance(egress)
+    edge.register_attachment("in", "A")
+    edge.register_attachment("out", "C")
+    gs.register_edge_service(edge)
+    egress.attach_forwarder(gs.local_switchboard("C").forwarders[0].name)
+    return gs, service, ingress, egress
+
+
+def spec(name="c1", demand=5.0, dst="20.0.0.0/24"):
+    return ChainSpecification(
+        name, "vpn", "in", "out", ["fw"],
+        forward_demand=demand,
+        src_prefix="10.0.0.0/24",
+        dst_prefixes=[dst],
+    )
+
+
+class TestSiteFailure:
+    def test_affected_chains_identified(self):
+        gs, *_ = build_deployment()
+        gs.create_chain(spec("c1"))
+        used_sites = {
+            dst for (_s, dst) in gs.router.solution.stage_flows("c1", 1)
+        }
+        used = used_sites.pop()
+        assert chains_through_site(gs, used) == ["c1"]
+        unused = ({"A", "B"} - {used}).pop()
+        assert chains_through_site(gs, unused) == []
+
+    def test_chain_rerouted_to_surviving_site(self):
+        gs, service, ingress, egress = build_deployment()
+        gs.create_chain(spec("c1"))
+        # Find where it landed and fail that site.
+        site = next(iter(
+            dst for (_s, dst) in gs.router.solution.stage_flows("c1", 1)
+        ))
+        other = ({"A", "B"} - {site}).pop()
+        report = fail_site(gs, site)
+        assert report.affected_chains == ["c1"]
+        assert report.carried_after["c1"] == pytest.approx(1.0)
+        assert report.fully_recovered == ["c1"]
+        # Routing now uses the surviving site.
+        flows = gs.router.solution.stage_flows("c1", 1)
+        assert all(dst == other for (_s, dst) in flows)
+        # And the data plane follows for new connections.
+        packet = Packet(FiveTuple("10.0.0.9", "20.0.0.9", "tcp", 1, 80))
+        ingress.ingress(packet)
+        assert egress.delivered
+
+    def test_capacity_released_at_failed_and_committed_at_new(self):
+        gs, service, *_ = build_deployment()
+        gs.create_chain(spec("c1"))
+        site = next(iter(
+            dst for (_s, dst) in gs.router.solution.stage_flows("c1", 1)
+        ))
+        other = ({"A", "B"} - {site}).pop()
+        fail_site(gs, site)
+        assert service.committed(other) > 0
+        assert service.pending_reservations() == 0
+
+    def test_unrecoverable_when_no_capacity_left(self):
+        gs, *_ = build_deployment(cap_a=40.0, cap_b=0.0)
+        gs.create_chain(spec("c1"))
+        report = fail_site(gs, "A")
+        assert report.degraded == ["c1"]
+        assert report.carried_after["c1"] == 0.0
+        assert report.recovery_ratio() == 0.0
+
+    def test_partial_recovery_counts(self):
+        # B can only carry half of what A carried.
+        gs, *_ = build_deployment(cap_a=10.0, cap_b=5.0)
+        gs.create_chain(spec("c1", demand=5.0))  # load 10 fits A exactly
+        before = gs.installations["c1"].routed_fraction
+        report = fail_site(gs, "A")
+        assert report.carried_before["c1"] == pytest.approx(before)
+        assert 0 < report.carried_after["c1"] < before
+        assert 0 < report.recovery_ratio() < 1
+
+    def test_unaffected_chain_untouched(self):
+        gs, *_ = build_deployment()
+        gs.create_chain(spec("c1", dst="20.0.0.0/24"))
+        c1_site = next(iter(
+            dst for (_s, dst) in gs.router.solution.stage_flows("c1", 1)
+        ))
+        other = ({"A", "B"} - {c1_site}).pop()
+        report = fail_site(gs, other)
+        assert report.affected_chains == []
+        assert gs.installations["c1"].routed_fraction == pytest.approx(1.0)
+
+    def test_unknown_site_rejected(self):
+        gs, *_ = build_deployment()
+        with pytest.raises(FailureError):
+            fail_site(gs, "nowhere")
+
+    def test_restore_site_enables_extension(self):
+        gs, service, *_ = build_deployment(cap_a=10.0, cap_b=10.0)
+        gs.create_chain(spec("c1", demand=10.0))  # needs 20 load; has 20
+        assert gs.installations["c1"].routed_fraction == pytest.approx(1.0)
+        report = fail_site(gs, "A")
+        assert gs.installations["c1"].routed_fraction < 1.0
+        restore_site(gs, "A", site_capacity=100.0, vnf_capacity={"fw": 10.0})
+        gained = gs.extend_chain("c1")
+        assert gained > 0
+        assert gs.installations["c1"].routed_fraction == pytest.approx(1.0)
+
+
+class TestReoptimize:
+    def test_unchanged_demand_skipped(self):
+        gs, *_ = build_deployment()
+        gs.create_chain(spec("c1"))
+        flows_before = dict(gs.router.solution.stage_flows("c1", 1))
+        report = reoptimize(gs, {"c1": 1.0})
+        assert report.skipped == ["c1"]
+        assert report.rerouted == []
+        assert dict(gs.router.solution.stage_flows("c1", 1)) == flows_before
+
+    def test_demand_increase_rerouted_and_committed(self):
+        gs, service, *_ = build_deployment()
+        gs.create_chain(spec("c1", demand=5.0))
+        committed_before = sum(
+            gs.installations["c1"].committed_load.values()
+        )
+        report = reoptimize(gs, {"c1": 2.0})
+        assert report.rerouted == ["c1"]
+        assert gs.model.chains["c1"].forward_traffic[0] == pytest.approx(10.0)
+        committed_after = sum(gs.installations["c1"].committed_load.values())
+        assert committed_after == pytest.approx(2 * committed_before)
+
+    def test_demand_decrease_frees_capacity(self):
+        gs, service, *_ = build_deployment(cap_a=12.0, cap_b=0.0)
+        gs.create_chain(spec("c1", demand=6.0))  # exactly fills A
+        report = reoptimize(gs, {"c1": 0.5})
+        assert report.rerouted == ["c1"]
+        # Another chain now fits.
+        gs.create_chain(spec("c2", demand=3.0, dst="20.0.1.0/24"))
+        assert gs.installations["c2"].routed_fraction == pytest.approx(1.0)
+
+    def test_total_offered_and_carried_reported(self):
+        gs, *_ = build_deployment()
+        gs.create_chain(spec("c1", demand=5.0))
+        report = reoptimize(gs, {"c1": 2.0})
+        assert report.offered_after == pytest.approx(10.0)
+        assert report.carried_after == pytest.approx(10.0)
+        assert report.carried_share == pytest.approx(1.0)
+
+    def test_unknown_chain_rejected(self):
+        gs, *_ = build_deployment()
+        with pytest.raises(KeyError):
+            reoptimize(gs, {"ghost": 2.0})
+
+    def test_negative_factor_rejected(self):
+        gs, *_ = build_deployment()
+        gs.create_chain(spec("c1"))
+        with pytest.raises(ValueError):
+            reoptimize(gs, {"c1": -1.0})
+
+    def test_diurnal_cycle_round_trip(self):
+        """Drive a chain through a simulated day of demand factors."""
+        from repro.topology.timeseries import diurnal_factor
+
+        gs, *_ = build_deployment()
+        gs.create_chain(spec("c1", demand=5.0))
+        base = 5.0
+        for hour in (0, 6, 12, 20):
+            target = base * diurnal_factor(hour)
+            current = gs.model.chains["c1"].forward_traffic[0]
+            reoptimize(gs, {"c1": target / current}, threshold=0.0)
+            assert gs.model.chains["c1"].forward_traffic[0] == pytest.approx(
+                target
+            )
+            assert gs.installations["c1"].routed_fraction == pytest.approx(1.0)

@@ -1,0 +1,144 @@
+"""Tests for multi-ingress / multi-egress chains."""
+
+import pytest
+
+from repro.core.dp import route_chains_dp
+from repro.core.lp import LpObjective, solve_chain_routing_lp
+from repro.core.model import CloudSite, NetworkModel, VNF
+from repro.core.multipoint import (
+    MultipointChain,
+    MultipointError,
+    summarize_multipoint,
+)
+
+
+def multipoint(ingresses=None, egresses=None, demand=6.0):
+    return MultipointChain(
+        "corp",
+        ingresses or {"a": 0.5, "b": 0.5},
+        egresses or {"c": 1.0},
+        ["fw"],
+        forward_demand=demand,
+        reverse_demand=demand / 3,
+    )
+
+
+def make_model(chains, fw_caps=None):
+    fw_caps = fw_caps or {"A": 100.0, "B": 100.0}
+    nodes = ["a", "b", "c"]
+    latency = {("a", "b"): 10.0, ("a", "c"): 30.0, ("b", "c"): 15.0}
+    sites = [CloudSite("A", "a", 1000.0), CloudSite("B", "b", 1000.0)]
+    vnfs = [VNF("fw", 1.0, dict(fw_caps))]
+    return NetworkModel(nodes, latency, sites, vnfs, chains)
+
+
+class TestExpansion:
+    def test_pairs_and_demand_split(self):
+        chain = multipoint()
+        subs = chain.expand()
+        assert [c.name for c in subs] == ["corp@a>c", "corp@b>c"]
+        assert [c.forward_traffic[0] for c in subs] == pytest.approx(
+            [3.0, 3.0]
+        )
+        assert [c.reverse_traffic[0] for c in subs] == pytest.approx(
+            [1.0, 1.0]
+        )
+
+    def test_full_mesh_excludes_self_pairs(self):
+        chain = MultipointChain(
+            "mesh",
+            {"a": 0.5, "b": 0.5},
+            {"a": 0.5, "b": 0.5},
+            ["fw"],
+            forward_demand=8.0,
+        )
+        subs = chain.expand()
+        assert [c.name for c in subs] == ["mesh@a>b", "mesh@b>a"]
+        # Each ingress renormalizes over the other egress only.
+        assert all(
+            c.forward_traffic[0] == pytest.approx(4.0) for c in subs
+        )
+
+    def test_asymmetric_shares(self):
+        chain = MultipointChain(
+            "hub",
+            {"a": 0.75, "b": 0.25},
+            {"c": 1.0},
+            ["fw"],
+            forward_demand=8.0,
+        )
+        subs = {c.name: c for c in chain.expand()}
+        assert subs["hub@a>c"].forward_traffic[0] == pytest.approx(6.0)
+        assert subs["hub@b>c"].forward_traffic[0] == pytest.approx(2.0)
+
+    def test_total_demand_preserved(self):
+        chain = MultipointChain(
+            "m",
+            {"a": 0.3, "b": 0.7},
+            {"b": 0.4, "c": 0.6},
+            ["fw"],
+            forward_demand=10.0,
+        )
+        subs = chain.expand()
+        assert sum(c.forward_traffic[0] for c in subs) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(MultipointError):
+            MultipointChain("x", {}, {"c": 1.0}, ["fw"], 1.0)
+        with pytest.raises(MultipointError):
+            MultipointChain("x", {"a": 0.6}, {"c": 1.0}, ["fw"], 1.0)
+        with pytest.raises(MultipointError):
+            MultipointChain("x", {"a": 1.0}, {"a": 1.0}, ["fw"], 1.0)
+        with pytest.raises(MultipointError):
+            MultipointChain("x", {"a": 1.0}, {"c": 1.0}, ["fw"], -1.0)
+
+
+class TestRouting:
+    def test_sub_chains_route_jointly(self):
+        chain = multipoint()
+        model = make_model(chain.expand())
+        result = route_chains_dp(model)
+        assert result.fully_routed
+        summary = summarize_multipoint(chain, result.solution)
+        assert summary.carried_fraction == pytest.approx(1.0)
+        assert summary.pair_fractions == {
+            ("a", "c"): pytest.approx(1.0),
+            ("b", "c"): pytest.approx(1.0),
+        }
+
+    def test_pairs_share_vnf_capacity(self):
+        # fw capacity fits only half the total multipoint demand.
+        chain = multipoint(demand=12.0)
+        # Per pair: forward 6 + reverse 2 -> load 16; both pairs 32.
+        model = make_model(chain.expand(), fw_caps={"A": 8.0, "B": 8.0})
+        result = route_chains_dp(model)
+        summary = summarize_multipoint(chain, result.solution)
+        assert summary.carried_fraction == pytest.approx(0.5, abs=0.01)
+
+    def test_lp_routes_multipoint(self):
+        chain = multipoint()
+        model = make_model(chain.expand())
+        result = solve_chain_routing_lp(model, LpObjective.MIN_LATENCY)
+        assert result.ok
+        summary = summarize_multipoint(chain, result.solution)
+        assert summary.carried_fraction == pytest.approx(1.0)
+        assert summary.mean_latency_ms < 40.0
+
+    def test_summary_requires_routed_model(self):
+        chain = multipoint()
+        other_model = make_model([])
+        from repro.core.routes import RoutingSolution
+
+        with pytest.raises(MultipointError):
+            summarize_multipoint(chain, RoutingSolution(other_model))
+
+    def test_each_pair_takes_its_own_best_route(self):
+        # Ingress a is nearest A; ingress b is nearest B -- with ample
+        # capacity each pair should use its local firewall.
+        chain = multipoint()
+        model = make_model(chain.expand())
+        result = route_chains_dp(model)
+        flows_a = result.solution.stage_flows("corp@a>c", 1)
+        flows_b = result.solution.stage_flows("corp@b>c", 1)
+        assert ("a", "B") in flows_a  # via B: 10 + 15 beats 0 + 30
+        assert ("b", "B") in flows_b

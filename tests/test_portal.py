@@ -1,0 +1,172 @@
+"""Tests for the customer portal facade (Section 2)."""
+
+import random
+
+import pytest
+
+from repro.controller import (
+    ChainSpecification,
+    GlobalSwitchboard,
+    LocalSwitchboard,
+)
+from repro.controller.portal import Portal, PortalError
+from repro.core.model import CloudSite, NetworkModel, VNF
+from repro.dataplane import DataPlane, FiveTuple, Packet
+from repro.edge import EdgeController, EdgeInstance
+from repro.vnf import VnfService
+
+
+def build_portal(fw_caps=None, nat_caps=None):
+    fw_caps = fw_caps or {"A": 50.0, "B": 50.0}
+    nat_caps = nat_caps or {"B": 50.0}
+    nodes = ["a", "b", "c"]
+    latency = {("a", "b"): 10.0, ("a", "c"): 30.0, ("b", "c"): 15.0}
+    sites = [CloudSite(s, s.lower(), 500.0) for s in ("A", "B", "C")]
+    vnfs = [VNF("firewall", 1.0, dict(fw_caps)), VNF("nat", 0.5, dict(nat_caps))]
+    model = NetworkModel(nodes, latency, sites, vnfs)
+    dp = DataPlane(random.Random(8))
+    gs = GlobalSwitchboard(model, dp)
+    for site in ("A", "B", "C"):
+        gs.register_local_switchboard(LocalSwitchboard(site, dp))
+    gs.register_vnf_service(VnfService("firewall", 1.0, dict(fw_caps)))
+    gs.register_vnf_service(VnfService("nat", 0.5, dict(nat_caps)))
+    edge = EdgeController("vpn")
+    ingress = EdgeInstance("edge.A", "A", dp)
+    egress = EdgeInstance("edge.C", "C", dp)
+    edge.register_instance(ingress)
+    edge.register_instance(egress)
+    edge.register_attachment("office-1", "A")
+    edge.register_attachment("office-2", "C")
+    gs.register_edge_service(edge)
+    egress.attach_forwarder(gs.local_switchboard("C").forwarders[0].name)
+    return Portal(gs), ingress, egress
+
+
+def spec(vnfs=("firewall",), name="corp", demand=5.0):
+    return ChainSpecification(
+        name, "vpn", "office-1", "office-2", list(vnfs),
+        forward_demand=demand,
+        src_prefix="10.0.0.0/24",
+        dst_prefixes=["20.0.0.0/24"],
+    )
+
+
+class TestCatalog:
+    def test_lists_registered_vnfs(self):
+        portal, *_ = build_portal()
+        names = [entry.name for entry in portal.catalog()]
+        assert names == ["firewall", "nat"]
+
+    def test_entry_details(self):
+        portal, *_ = build_portal()
+        firewall = portal.catalog()[0]
+        assert set(firewall.sites) == {"A", "B"}
+        assert firewall.total_capacity == 100.0
+
+    def test_descriptions(self):
+        portal, *_ = build_portal()
+        portal.describe_vnf("firewall", "stateful L4 firewall")
+        assert portal.catalog()[0].description == "stateful L4 firewall"
+        with pytest.raises(PortalError):
+            portal.describe_vnf("ghost", "x")
+
+
+class TestActivation:
+    def test_activate_returns_active_status(self):
+        portal, *_ = build_portal()
+        status = portal.activate(spec())
+        assert status.state == "active"
+        assert status.carried_fraction == pytest.approx(1.0)
+        assert status.ingress_site == "A"
+        assert status.egress_site == "C"
+
+    def test_unknown_vnf_rejected_with_catalog_hint(self):
+        portal, *_ = build_portal()
+        with pytest.raises(PortalError, match="available"):
+            portal.activate(spec(vnfs=("scrubber",)))
+
+    def test_unknown_attachment_rejected(self):
+        portal, *_ = build_portal()
+        bad = ChainSpecification(
+            "x", "vpn", "nowhere", "office-2", ["firewall"],
+            dst_prefixes=["20.0.0.0/24"],
+        )
+        with pytest.raises(PortalError, match="attachment"):
+            portal.activate(bad)
+
+    def test_degraded_status_when_capacity_short(self):
+        portal, *_ = build_portal(fw_caps={"A": 4.0, "B": 0.0})
+        status = portal.activate(spec(demand=5.0))
+        assert status.state == "degraded"
+        assert "capacity limited" in status.message
+
+    def test_traffic_flows_after_activation(self):
+        portal, ingress, egress = build_portal()
+        portal.activate(spec())
+        packet = Packet(FiveTuple("10.0.0.5", "20.0.0.9", "tcp", 1111, 80))
+        ingress.ingress(packet)
+        assert egress.delivered
+
+    def test_list_chains(self):
+        portal, *_ = build_portal()
+        portal.activate(spec(name="c1"))
+        portal.activate(
+            ChainSpecification(
+                "c2", "vpn", "office-1", "office-2", ["nat"],
+                forward_demand=2.0, src_prefix="10.1.0.0/24",
+                dst_prefixes=["20.0.1.0/24"],
+            )
+        )
+        assert [s.name for s in portal.list_chains()] == ["c1", "c2"]
+
+
+class TestVnfInsertion:
+    def test_insert_vnf_extends_chain(self):
+        portal, ingress, egress = build_portal()
+        portal.activate(spec(vnfs=("firewall",)))
+        status = portal.insert_vnf("corp", "nat", position=1)
+        assert status.state == "active"
+        assert status.vnfs == ("firewall", "nat")
+        packet = Packet(FiveTuple("10.0.0.7", "20.0.0.9", "tcp", 2222, 80))
+        ingress.ingress(packet)
+        assert any(e.startswith("firewall.") for e in packet.trace)
+        assert any(e.startswith("nat.") for e in packet.trace)
+
+    def test_insert_at_front(self):
+        portal, *_ = build_portal()
+        portal.activate(spec(vnfs=("nat",)))
+        status = portal.insert_vnf("corp", "firewall", position=0)
+        assert status.vnfs == ("firewall", "nat")
+
+    def test_insert_position_validated(self):
+        portal, *_ = build_portal()
+        portal.activate(spec())
+        with pytest.raises(PortalError):
+            portal.insert_vnf("corp", "nat", position=5)
+
+    def test_insert_into_unknown_chain_rejected(self):
+        portal, *_ = build_portal()
+        with pytest.raises(PortalError):
+            portal.insert_vnf("ghost", "nat", 0)
+
+
+class TestDeactivation:
+    def test_deactivate_releases_chain(self):
+        portal, *_ = build_portal()
+        portal.activate(spec())
+        status = portal.deactivate("corp")
+        assert status.state == "inactive"
+        assert portal.status("corp").state == "inactive"
+        assert "corp" not in portal.gs.model.chains
+
+    def test_deactivate_unknown_rejected(self):
+        portal, *_ = build_portal()
+        with pytest.raises(PortalError):
+            portal.deactivate("ghost")
+
+    def test_reactivation_after_deactivate(self):
+        portal, *_ = build_portal()
+        portal.activate(spec())
+        portal.deactivate("corp")
+        status = portal.activate(spec())
+        assert status.state == "active"

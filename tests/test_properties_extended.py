@@ -1,0 +1,234 @@
+"""Property-based tests for the E2E allocator, the simulated network,
+the capacity planners, and the workload generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.capacity import plan_cloud_capacity
+from repro.core.model import Chain, CloudSite, NetworkModel, VNF
+from repro.dataplane.e2e import E2ERoute, E2ETestbed, VnfInstanceSpec
+from repro.simnet.network import LinkSpec, SimNetwork
+from repro.topology.workload import WorkloadConfig, place_vnfs
+
+TOL = 1e-6
+
+
+# ---------------------------------------------------------------------------
+# E2E max-min fairness
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def e2e_scenario(draw):
+    rng = random.Random(draw(st.integers(0, 100_000)))
+    num_instances = draw(st.integers(1, 4))
+    num_routes = draw(st.integers(1, 6))
+    bed = E2ETestbed(rtt_ms={("A", "B"): 50.0})
+    instances = []
+    for i in range(num_instances):
+        name = f"i{i}"
+        bed.add_instance(
+            VnfInstanceSpec(name, rng.choice(["A", "B"]), rng.uniform(10, 200))
+        )
+        instances.append(name)
+    for r in range(num_routes):
+        used = rng.sample(instances, rng.randint(1, num_instances))
+        sites = ["A"]
+        for inst in used:
+            sites.append(bed.instances[inst].site)
+        sites.append("B")
+        bed.add_route(
+            E2ERoute(f"r{r}", sites, used, rng.uniform(5, 400))
+        )
+    return bed
+
+
+@settings(max_examples=60, deadline=None)
+@given(e2e_scenario())
+def test_e2e_allocation_is_feasible(bed):
+    result = bed.evaluate()
+    # No route exceeds its demand.
+    for name, metrics in result.routes.items():
+        assert metrics.throughput_mbps <= bed.routes[name].demand_mbps + TOL
+        assert metrics.throughput_mbps >= -TOL
+    # No instance exceeds its capacity.
+    for inst_name, spec in bed.instances.items():
+        load = sum(
+            result.routes[r].throughput_mbps
+            for r, route in bed.routes.items()
+            if inst_name in route.instances
+        )
+        assert load <= spec.capacity_mbps + 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(e2e_scenario())
+def test_e2e_allocation_is_work_conserving(bed):
+    """No route can be unilaterally increased: it is either at its
+    demand or crosses a saturated instance."""
+    result = bed.evaluate()
+    residual = {
+        name: spec.capacity_mbps for name, spec in bed.instances.items()
+    }
+    for name, metrics in result.routes.items():
+        for inst in bed.routes[name].instances:
+            residual[inst] -= metrics.throughput_mbps
+    for name, metrics in result.routes.items():
+        route = bed.routes[name]
+        if metrics.throughput_mbps >= route.demand_mbps - 1e-6:
+            continue
+        slack = min(
+            (residual[inst] for inst in route.instances), default=0.0
+        )
+        assert slack <= 1e-6, f"route {name} could take {slack} more"
+
+
+@settings(max_examples=40, deadline=None)
+@given(e2e_scenario())
+def test_e2e_allocation_is_max_min_fair(bed):
+    """A route below its demand is bottlenecked at an instance where it
+    already holds a maximal share (no smaller route at that instance
+    could give it anything)."""
+    result = bed.evaluate()
+    for name, metrics in result.routes.items():
+        route = bed.routes[name]
+        if metrics.throughput_mbps >= route.demand_mbps - 1e-6:
+            continue
+        # At some shared instance, no other route gets more than this
+        # one unless that route is itself demand-limited there.
+        fair_somewhere = False
+        for inst in route.instances:
+            sharers = [
+                r for r, other in bed.routes.items()
+                if inst in other.instances
+            ]
+            bigger = [
+                r for r in sharers
+                if result.routes[r].throughput_mbps
+                > metrics.throughput_mbps + 1e-6
+                and result.routes[r].throughput_mbps
+                < bed.routes[r].demand_mbps - 1e-6
+            ]
+            if not bigger:
+                fair_somewhere = True
+                break
+        assert fair_somewhere, f"route {name} starved unfairly"
+
+
+# ---------------------------------------------------------------------------
+# Simulated network conservation
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(1, 30),
+    st.integers(100, 5000),
+    st.integers(1, 50),
+    st.integers(0, 10_000),
+)
+def test_simnet_messages_conserved(n_messages, size, buffer_kb, seed):
+    """Every sent message is either delivered or dropped, never both."""
+    rng = random.Random(seed)
+    net = SimNetwork()
+    net.add_host("a")
+    net.add_host("b")
+    net.connect(
+        "a", "b",
+        LinkSpec(delay_s=0.01, bandwidth_bps=1e6,
+                 buffer_bytes=buffer_kb * 1000),
+    )
+    delivered = []
+    net.host("b").on_receive(lambda s, p: delivered.append(p))
+    for i in range(n_messages):
+        net.sim.schedule(
+            rng.uniform(0, 0.05), net.send, "a", "b", i, size
+        )
+    net.run()
+    stats = net.link_stats("a", "b")
+    assert stats.sent == n_messages
+    assert stats.delivered + stats.dropped == n_messages
+    assert len(delivered) == stats.delivered
+    assert stats.bytes_sent == n_messages * size
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 20), st.integers(0, 10_000))
+def test_simnet_fifo_ordering(n_messages, seed):
+    """Messages on one link are delivered in send order."""
+    net = SimNetwork()
+    net.add_host("a")
+    net.add_host("b")
+    net.connect("a", "b", LinkSpec(delay_s=0.01, bandwidth_bps=1e6))
+    got = []
+    net.host("b").on_receive(lambda s, p: got.append(p))
+    for i in range(n_messages):
+        net.send("a", "b", i, 500)
+    net.run()
+    assert got == list(range(n_messages))
+
+
+# ---------------------------------------------------------------------------
+# Workload generator invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.floats(min_value=0.1, max_value=1.0),
+    st.integers(4, 30),
+    st.integers(0, 10_000),
+)
+def test_vnf_placement_capacity_conserved(coverage, num_vnfs, seed):
+    """Summed per-VNF capacity at a site never exceeds site capacity."""
+    config = WorkloadConfig(
+        num_vnfs=num_vnfs,
+        coverage=coverage,
+        site_capacity=100.0,
+        min_chain_length=1,
+        max_chain_length=min(3, num_vnfs),
+    )
+    sites = [f"S{i}" for i in range(12)]
+    vnfs = place_vnfs(config, sites, random.Random(seed))
+    per_site: dict[str, float] = {}
+    for vnf in vnfs:
+        for site, cap in vnf.site_capacity.items():
+            per_site[site] = per_site.get(site, 0.0) + cap
+    for site, total in per_site.items():
+        assert total <= 100.0 + 1e-6
+    # Every VNF got the right number of sites.
+    expected = max(1, round(coverage * len(sites)))
+    assert all(len(v.sites) == expected for v in vnfs)
+
+
+# ---------------------------------------------------------------------------
+# Cloud capacity planning monotonicity
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 1000))
+def test_cloud_planning_alpha_monotone_in_budget(seed):
+    rng = random.Random(seed)
+    nodes = ["a", "b", "c"]
+    latency = {("a", "b"): 10.0, ("a", "c"): 20.0, ("b", "c"): 15.0}
+    sites = [
+        CloudSite("A", "a", rng.uniform(5, 30)),
+        CloudSite("B", "b", rng.uniform(5, 30)),
+        CloudSite("C", "c", rng.uniform(5, 30)),
+    ]
+    vnfs = [
+        VNF("f", 1.0, {"A": sites[0].capacity, "B": sites[1].capacity})
+    ]
+    chains = [Chain("c1", "a", "c", ["f"], rng.uniform(0.5, 3.0))]
+    model = NetworkModel(nodes, latency, sites, vnfs, chains)
+    alphas = [
+        plan_cloud_capacity(model, budget).alpha
+        for budget in (0.0, 10.0, 30.0)
+    ]
+    assert alphas == sorted(alphas)
+    assert alphas[0] > 0

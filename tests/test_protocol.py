@@ -1,0 +1,230 @@
+"""Tests for the bus-driven (discrete-event) Figure 4 installation."""
+
+import random
+
+import pytest
+
+from repro.bus.bus import make_bus
+from repro.controller import (
+    ChainSpecification,
+    GlobalSwitchboard,
+    LocalSwitchboard,
+)
+from repro.controller.protocol import (
+    BusDrivenInstaller,
+    ProtocolDelays,
+)
+from repro.core.model import CloudSite, NetworkModel, VNF
+from repro.dataplane import DataPlane, FiveTuple, Packet
+from repro.edge import EdgeController, EdgeInstance
+from repro.vnf import VnfService
+
+SITES = ["A", "B", "C"]
+WAN_DELAY_S = 0.030
+
+
+def build(fw_cap_b=40.0, seed=11):
+    nodes = ["a", "b", "c"]
+    latency = {("a", "b"): 10.0, ("a", "c"): 30.0, ("b", "c"): 15.0}
+    sites = [CloudSite(s, s.lower(), 100.0) for s in SITES]
+    vnfs = [VNF("fw", 1.0, {"B": fw_cap_b})]
+    model = NetworkModel(nodes, latency, sites, vnfs)
+    dp = DataPlane(random.Random(seed))
+    gs = GlobalSwitchboard(model, dp)
+    for site in SITES:
+        gs.register_local_switchboard(LocalSwitchboard(site, dp))
+    service = VnfService("fw", 1.0, {"B": fw_cap_b})
+    gs.register_vnf_service(service)
+    edge = EdgeController("vpn")
+    ingress = EdgeInstance("edge.A", "A", dp)
+    egress = EdgeInstance("edge.C", "C", dp)
+    edge.register_instance(ingress)
+    edge.register_instance(egress)
+    edge.register_attachment("in", "A")
+    edge.register_attachment("out", "C")
+    gs.register_edge_service(edge)
+    egress.attach_forwarder(gs.local_switchboard("C").forwarders[0].name)
+    return gs, dp, service, ingress, egress
+
+
+def make_installer(gs):
+    bus = make_bus(SITES, wan_delay_s=WAN_DELAY_S, uplink_bps=100e6)
+    return BusDrivenInstaller(
+        gs,
+        bus,
+        gs_site="A",
+        edge_controller_site="A",
+        vnf_controller_sites={"fw": "B"},
+    )
+
+
+def spec(name="corp", demand=5.0):
+    return ChainSpecification(
+        name, "vpn", "in", "out", ["fw"],
+        forward_demand=demand,
+        src_prefix="10.0.0.0/24",
+        dst_prefixes=["20.0.0.0/24"],
+    )
+
+
+class TestBusDrivenInstallation:
+    def test_installation_completes(self):
+        gs, *_ = build()
+        installer = make_installer(gs)
+        timeline = installer.install(spec())
+        installer.network.run()
+        assert timeline.failed is None
+        assert timeline.completed_at is not None
+        assert timeline.installation is not None
+        assert timeline.installation.routed_fraction == pytest.approx(1.0)
+
+    def test_milestones_are_ordered(self):
+        gs, *_ = build()
+        installer = make_installer(gs)
+        timeline = installer.install(spec())
+        installer.network.run()
+        assert (
+            timeline.requested_at
+            < timeline.sites_resolved_at
+            < timeline.route_committed_at
+            <= timeline.route_published_at
+            < timeline.completed_at
+        )
+
+    def test_latency_reflects_wan_geography(self):
+        """The total must cover at least: request hop, edge-resolve RTT,
+        2PC prepare+commit RTTs to B, bus propagation, and the config
+        delay -- all of which are simulated, not budgeted."""
+        gs, *_ = build()
+        installer = make_installer(gs)
+        timeline = installer.install(spec())
+        installer.network.run()
+        delays = ProtocolDelays()
+        floor = (
+            2 * (2 * WAN_DELAY_S)      # prepare + commit RTTs (A<->B)
+            + delays.route_compute_s
+            + delays.dataplane_config_s
+        )
+        assert timeline.total_s > floor
+        assert timeline.total_s < 1.0  # and it finishes in sub-second
+
+    def test_end_state_matches_synchronous_install(self):
+        gs_sync, *_ = build(seed=11)
+        gs_sync.create_chain(spec())
+        gs_bus, *_ = build(seed=11)
+        installer = make_installer(gs_bus)
+        installer.install(spec())
+        installer.network.run()
+
+        sync_flows = gs_sync.router.solution.stage_flows("corp", 1)
+        bus_flows = gs_bus.router.solution.stage_flows("corp", 1)
+        assert sync_flows == bus_flows
+        sync_inst = gs_sync.installations["corp"]
+        bus_inst = gs_bus.installations["corp"]
+        assert sync_inst.committed_load == bus_inst.committed_load
+        # Rules exist at the same (forwarder, key) pairs.
+        sync_rules = {
+            (name, key)
+            for name, fwd in gs_sync.dataplane.forwarders.items()
+            for key in fwd.rules
+        }
+        bus_rules = {
+            (name, key)
+            for name, fwd in gs_bus.dataplane.forwarders.items()
+            for key in fwd.rules
+        }
+        assert sync_rules == bus_rules
+
+    def test_packets_flow_after_bus_driven_install(self):
+        gs, _dp, _service, ingress, egress = build()
+        installer = make_installer(gs)
+        installer.install(spec())
+        installer.network.run()
+        packet = Packet(FiveTuple("10.0.0.5", "20.0.0.9", "tcp", 1234, 80))
+        ingress.ingress(packet)
+        assert egress.delivered
+        assert any(e.startswith("fw.") for e in packet.trace)
+
+    def test_rejection_with_no_capacity_left_fails_cleanly(self):
+        gs, _dp, service, *_ = build(fw_cap_b=100.0)
+        # The VNF controller has quietly given ALL of B away.
+        service.prepare("tenant-x", "B", 100.0)
+        service.commit("tenant-x", "B")
+        installer = make_installer(gs)
+        timeline = installer.install(spec(demand=5.0))
+        installer.network.run()
+        assert timeline.failed is not None
+        assert "corp" not in gs.model.chains
+        assert service.pending_reservations() == 0
+
+    def test_rejection_recomputes_onto_partial_capacity(self):
+        gs, _dp, service, *_ = build(fw_cap_b=100.0)
+        # B has only 5 load units left; the first 2PC attempt (load 10)
+        # is rejected, the recompute admits the half that fits.
+        service.prepare("tenant-x", "B", 95.0)
+        service.commit("tenant-x", "B")
+        installer = make_installer(gs)
+        timeline = installer.install(spec(demand=5.0))
+        installer.network.run()
+        assert timeline.failed is None
+        installation = gs.installations["corp"]
+        assert installation.routed_fraction == pytest.approx(0.5)
+        assert service.pending_reservations() == 0
+
+    def test_rejection_recomputes_onto_other_site(self):
+        """Mirrors the synchronous 2PC test: B rejects, A serves."""
+        nodes = ["a", "b", "c"]
+        latency = {("a", "b"): 10.0, ("a", "c"): 30.0, ("b", "c"): 15.0}
+        sites = [CloudSite(s, s.lower(), 100.0) for s in SITES]
+        vnfs = [VNF("fw", 1.0, {"A": 100.0, "B": 100.0})]
+        model = NetworkModel(nodes, latency, sites, vnfs)
+        dp = DataPlane(random.Random(4))
+        gs = GlobalSwitchboard(model, dp)
+        for site in SITES:
+            gs.register_local_switchboard(LocalSwitchboard(site, dp))
+        service = VnfService("fw", 1.0, {"A": 100.0, "B": 100.0})
+        gs.register_vnf_service(service)
+        edge = EdgeController("vpn")
+        edge.register_instance(EdgeInstance("edge.A", "A", dp))
+        edge.register_instance(EdgeInstance("edge.C", "C", dp))
+        edge.register_attachment("in", "A")
+        edge.register_attachment("out", "C")
+        gs.register_edge_service(edge)
+        service.prepare("tenant-x", "B", 95.0)
+        service.commit("tenant-x", "B")
+        installer = make_installer(gs)
+        timeline = installer.install(spec(demand=5.0))
+        installer.network.run()
+        assert timeline.failed is None
+        installation = gs.installations["corp"]
+        assert installation.routed_fraction == pytest.approx(1.0)
+        assert ("fw", "A") in installation.committed_load
+
+    def test_bus_carries_one_instance_copy_per_site(self):
+        gs, *_ = build()
+        installer = make_installer(gs)
+        installer.install(spec())
+        installer.network.run()
+        stats = installer.bus.stats
+        assert stats.published >= 1
+        # Route sites are {A (ingress), B (fw)}; the announcement is
+        # published at B, so one WAN copy reaches A's proxy.
+        assert stats.wan_messages >= 1
+        assert stats.wan_drops == 0
+
+    def test_two_sequential_installations(self):
+        gs, _dp, _service, ingress, egress = build()
+        installer = make_installer(gs)
+        t1 = installer.install(spec("c1"))
+        installer.network.run()
+        t2 = installer.install(
+            ChainSpecification(
+                "c2", "vpn", "in", "out", ["fw"],
+                forward_demand=3.0, src_prefix="10.1.0.0/24",
+                dst_prefixes=["20.0.1.0/24"],
+            )
+        )
+        installer.network.run()
+        assert t1.completed_at is not None
+        assert t2.completed_at is not None
+        assert gs.installations.keys() == {"c1", "c2"}

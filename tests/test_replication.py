@@ -1,0 +1,194 @@
+"""Tests for the MUSIC-style replicated store and controller checkpoints."""
+
+import pytest
+
+from repro.controller.chainspec import ChainSpecification
+from repro.controller.global_switchboard import ChainInstallation
+from repro.controller.replication import (
+    ReplicatedStore,
+    ReplicationError,
+    checkpoint_installation,
+    remove_checkpoint,
+    restore_installations,
+)
+
+REPLICAS = ["nyc", "chi", "sfo"]
+
+
+class TestQuorumBasics:
+    def test_write_then_read(self):
+        store = ReplicatedStore(REPLICAS)
+        store.put("/k", {"v": 1})
+        assert store.get("/k") == {"v": 1}
+
+    def test_read_missing_returns_none(self):
+        assert ReplicatedStore(REPLICAS).get("/nope") is None
+
+    def test_versions_monotonic_last_write_wins(self):
+        store = ReplicatedStore(REPLICAS)
+        v1 = store.put("/k", "old")
+        v2 = store.put("/k", "new")
+        assert v2 > v1
+        assert store.get("/k") == "new"
+
+    def test_default_quorum_is_majority(self):
+        assert ReplicatedStore(REPLICAS).quorum == 2
+        assert ReplicatedStore(["a"]).quorum == 1
+        assert ReplicatedStore(["a", "b", "c", "d", "e"]).quorum == 3
+
+    def test_invalid_construction(self):
+        with pytest.raises(ReplicationError):
+            ReplicatedStore([])
+        with pytest.raises(ReplicationError):
+            ReplicatedStore(["a", "a"])
+        with pytest.raises(ReplicationError):
+            ReplicatedStore(["a", "b"], quorum=3)
+
+
+class TestFaultTolerance:
+    def test_survives_minority_failure(self):
+        store = ReplicatedStore(REPLICAS)
+        store.put("/k", 42)
+        store.fail("nyc")
+        assert store.get("/k") == 42
+        store.put("/k", 43)
+        assert store.get("/k") == 43
+
+    def test_majority_failure_blocks_writes_and_reads(self):
+        store = ReplicatedStore(REPLICAS)
+        store.put("/k", 1)
+        store.fail("nyc")
+        store.fail("chi")
+        with pytest.raises(ReplicationError):
+            store.put("/k", 2)
+        with pytest.raises(ReplicationError):
+            store.get("/k")
+
+    def test_recovered_replica_heals_via_read_repair(self):
+        store = ReplicatedStore(REPLICAS)
+        store.put("/k", "v1")
+        store.fail("nyc")
+        store.put("/k", "v2")  # nyc misses this write
+        store.recover("nyc")
+        assert store.get("/k") == "v2"
+        assert store.read_repairs >= 1
+        # nyc now holds the latest version: kill the others and read.
+        store.fail("chi")
+        store_single = ReplicatedStore(REPLICAS, quorum=1)
+        # (direct check on the replica data instead)
+        assert store.replicas["nyc"].data["/k"].value == "v2"
+
+    def test_stale_read_never_returned(self):
+        """A read after a successful write must see that write, for any
+        single-replica failure pattern (quorum intersection)."""
+        for failed in REPLICAS:
+            store = ReplicatedStore(REPLICAS)
+            store.put("/k", "fresh")
+            store.fail(failed)
+            assert store.get("/k") == "fresh"
+
+    def test_delete_is_tombstone(self):
+        store = ReplicatedStore(REPLICAS)
+        store.put("/k", 1)
+        store.delete("/k")
+        assert store.get("/k") is None
+        assert store.keys() == []
+
+
+class TestLeaderLease:
+    def test_first_acquirer_wins(self):
+        store = ReplicatedStore(REPLICAS)
+        assert store.acquire_lease("gs-1", now=0.0, duration=10.0)
+        assert not store.acquire_lease("gs-2", now=1.0, duration=10.0)
+        assert store.leader(now=5.0) == "gs-1"
+
+    def test_renewal_by_owner(self):
+        store = ReplicatedStore(REPLICAS)
+        store.acquire_lease("gs-1", now=0.0, duration=10.0)
+        assert store.acquire_lease("gs-1", now=8.0, duration=10.0)
+        assert store.leader(now=15.0) == "gs-1"
+
+    def test_takeover_after_expiry(self):
+        store = ReplicatedStore(REPLICAS)
+        store.acquire_lease("gs-1", now=0.0, duration=10.0)
+        assert store.leader(now=11.0) is None
+        assert store.acquire_lease("gs-2", now=11.0, duration=10.0)
+        assert store.leader(now=12.0) == "gs-2"
+
+    def test_release(self):
+        store = ReplicatedStore(REPLICAS)
+        store.acquire_lease("gs-1", now=0.0, duration=10.0)
+        store.release_lease("gs-1")
+        assert store.acquire_lease("gs-2", now=1.0, duration=10.0)
+
+    def test_release_by_non_owner_ignored(self):
+        store = ReplicatedStore(REPLICAS)
+        store.acquire_lease("gs-1", now=0.0, duration=10.0)
+        store.release_lease("gs-2")
+        assert store.leader(now=1.0) == "gs-1"
+
+    def test_lease_survives_replica_failure(self):
+        store = ReplicatedStore(REPLICAS)
+        store.acquire_lease("gs-1", now=0.0, duration=10.0)
+        store.fail("sfo")
+        assert store.leader(now=5.0) == "gs-1"
+
+
+def make_installation(name="corp", label=7) -> ChainInstallation:
+    spec = ChainSpecification(
+        name, "vpn", "in", "out", ["fw", "nat"],
+        forward_demand=5.0, reverse_demand=2.0,
+        src_prefix="10.0.0.0/24", dst_prefixes=("20.0.0.0/24",),
+        protocol="tcp", dst_port_range=(80, 443),
+    )
+    return ChainInstallation(
+        spec, label, "A", "C", 1.0,
+        {("fw", "B"): 14.0, ("nat", "B"): 7.0},
+        ["D"],
+    )
+
+
+class TestCheckpointing:
+    def test_round_trip(self):
+        store = ReplicatedStore(REPLICAS)
+        original = make_installation()
+        checkpoint_installation(store, original)
+        restored = restore_installations(store)
+        assert set(restored) == {"corp"}
+        clone = restored["corp"]
+        assert clone.label == original.label
+        assert clone.ingress_site == "A"
+        assert clone.egress_site == "C"
+        assert clone.routed_fraction == 1.0
+        assert clone.committed_load == original.committed_load
+        assert clone.extra_edge_sites == ["D"]
+        assert clone.spec.vnf_services == ("fw", "nat")
+        assert clone.spec.dst_port_range == (80, 443)
+
+    def test_restore_after_controller_failover(self):
+        """The scenario the recipe exists for: the leader writes state,
+        dies, and a standby on the surviving replicas rebuilds it."""
+        store = ReplicatedStore(REPLICAS)
+        store.acquire_lease("gs-primary", now=0.0, duration=5.0)
+        checkpoint_installation(store, make_installation("corp"))
+        checkpoint_installation(store, make_installation("branch", label=8))
+        store.fail("nyc")  # one replica dies with the primary
+        assert store.leader(now=10.0) is None  # lease expired
+        assert store.acquire_lease("gs-standby", now=10.0, duration=5.0)
+        restored = restore_installations(store)
+        assert set(restored) == {"branch", "corp"}
+
+    def test_remove_checkpoint(self):
+        store = ReplicatedStore(REPLICAS)
+        checkpoint_installation(store, make_installation())
+        remove_checkpoint(store, "corp")
+        assert restore_installations(store) == {}
+
+    def test_update_overwrites(self):
+        store = ReplicatedStore(REPLICAS)
+        installation = make_installation()
+        checkpoint_installation(store, installation)
+        installation.routed_fraction = 0.5
+        checkpoint_installation(store, installation)
+        restored = restore_installations(store)
+        assert restored["corp"].routed_fraction == 0.5

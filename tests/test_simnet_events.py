@@ -1,0 +1,131 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.simnet.events import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_fires_callback_at_scheduled_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.5, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == 1.5
+
+    def test_passes_multiple_args(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda a, b: seen.append((a, b)), 1, 2)
+        sim.run()
+        assert seen == [(1, 2)]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "late")
+        sim.schedule(1.0, order.append, "early")
+        sim.schedule(2.0, order.append, "mid")
+        sim.run()
+        assert order == ["early", "mid", "late"]
+
+    def test_same_time_events_fire_fifo(self):
+        sim = Simulator()
+        order = []
+        for i in range(10):
+            sim.schedule(1.0, order.append, i)
+        sim.run()
+        assert order == list(range(10))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        times = []
+
+        def first():
+            times.append(sim.now)
+            sim.schedule(2.0, second)
+
+        def second():
+            times.append(sim.now)
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert times == [1.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_other_events_still_fire_after_cancel(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        handle.cancel()
+        sim.run()
+        assert fired == ["b"]
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_until_advances_clock_when_queue_empty(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_max_events_limits_firing(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3

@@ -1,0 +1,169 @@
+"""Unit tests for the simulated network: delays, bandwidth, buffers."""
+
+import pytest
+
+from repro.simnet.network import LinkSpec, NetworkError, SimNetwork
+
+
+def make_pair(spec: LinkSpec) -> tuple[SimNetwork, list]:
+    net = SimNetwork()
+    net.add_host("a")
+    net.add_host("b")
+    net.connect("a", "b", spec)
+    arrivals = []
+    net.host("b").on_receive(lambda s, p: arrivals.append((net.sim.now, s, p)))
+    return net, arrivals
+
+
+class TestLinkSpec:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(NetworkError):
+            LinkSpec(delay_s=-1.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(NetworkError):
+            LinkSpec(delay_s=0.0, bandwidth_bps=0.0)
+
+    def test_zero_buffer_rejected(self):
+        with pytest.raises(NetworkError):
+            LinkSpec(delay_s=0.0, bandwidth_bps=1e6, buffer_bytes=0)
+
+
+class TestDelivery:
+    def test_propagation_delay(self):
+        net, arrivals = make_pair(LinkSpec(delay_s=0.05))
+        net.send("a", "b", "hello", 100)
+        net.run()
+        assert len(arrivals) == 1
+        assert arrivals[0][0] == pytest.approx(0.05)
+        assert arrivals[0][2] == "hello"
+
+    def test_serialization_delay_uses_bits(self):
+        # 1000 bytes over 8 Mbps = 1 ms serialization.
+        net, arrivals = make_pair(LinkSpec(delay_s=0.0, bandwidth_bps=8e6))
+        net.send("a", "b", "x", 1000)
+        net.run()
+        assert arrivals[0][0] == pytest.approx(0.001)
+
+    def test_back_to_back_messages_queue(self):
+        net, arrivals = make_pair(LinkSpec(delay_s=0.0, bandwidth_bps=8e6))
+        for i in range(3):
+            net.send("a", "b", i, 1000)
+        net.run()
+        times = [t for t, _s, _p in arrivals]
+        assert times == pytest.approx([0.001, 0.002, 0.003])
+
+    def test_queue_drains_between_sends(self):
+        net, arrivals = make_pair(LinkSpec(delay_s=0.0, bandwidth_bps=8e6))
+        net.send("a", "b", 0, 1000)
+        net.sim.schedule(0.010, net.send, "a", "b", 1, 1000)
+        net.run()
+        assert arrivals[1][0] == pytest.approx(0.011)
+
+    def test_sender_recorded(self):
+        net, arrivals = make_pair(LinkSpec(delay_s=0.01))
+        net.send("a", "b", "p", 10)
+        net.run()
+        assert arrivals[0][1] == "a"
+
+    def test_infinite_bandwidth_has_no_serialization(self):
+        net, arrivals = make_pair(LinkSpec(delay_s=0.02))
+        for i in range(10):
+            net.send("a", "b", i, 10_000_000)
+        net.run()
+        assert all(t == pytest.approx(0.02) for t, _s, _p in arrivals)
+
+
+class TestBufferDrops:
+    def test_messages_dropped_when_buffer_full(self):
+        spec = LinkSpec(delay_s=0.0, bandwidth_bps=8e6, buffer_bytes=2500)
+        net, arrivals = make_pair(spec)
+        results = [net.send("a", "b", i, 1000) for i in range(5)]
+        net.run()
+        # Buffer fits 2 queued messages (2000 <= 2500 < 3000).
+        assert results == [True, True, False, False, False]
+        assert len(arrivals) == 2
+
+    def test_drop_statistics(self):
+        spec = LinkSpec(delay_s=0.0, bandwidth_bps=8e6, buffer_bytes=1500)
+        net, _ = make_pair(spec)
+        for i in range(4):
+            net.send("a", "b", i, 1000)
+        net.run()
+        stats = net.link_stats("a", "b")
+        assert stats.sent == 4
+        assert stats.delivered == 1
+        assert stats.dropped == 3
+        assert stats.bytes_dropped == 3000
+
+    def test_buffer_frees_after_serialization(self):
+        spec = LinkSpec(delay_s=0.0, bandwidth_bps=8e6, buffer_bytes=1000)
+        net, arrivals = make_pair(spec)
+        assert net.send("a", "b", 0, 1000)
+        net.sim.schedule(0.002, net.send, "a", "b", 1, 1000)
+        net.run()
+        assert len(arrivals) == 2
+
+
+class TestTopologyRules:
+    def test_duplicate_host_rejected(self):
+        net = SimNetwork()
+        net.add_host("a")
+        with pytest.raises(NetworkError):
+            net.add_host("a")
+
+    def test_unknown_destination_rejected(self):
+        net = SimNetwork()
+        net.add_host("a")
+        with pytest.raises(NetworkError):
+            net.send("a", "ghost", "p", 1)
+
+    def test_no_link_and_no_default_rejected(self):
+        net = SimNetwork()
+        net.add_host("a", site="X")
+        net.add_host("b", site="Y")
+        with pytest.raises(NetworkError):
+            net.send("a", "b", "p", 1)
+
+    def test_same_site_hosts_get_local_link(self):
+        net = SimNetwork()
+        net.add_host("a", site="X")
+        net.add_host("b", site="X")
+        got = []
+        net.host("b").on_receive(lambda s, p: got.append(net.sim.now))
+        assert net.send("a", "b", "p", 100)
+        net.run()
+        assert got and got[0] < 0.001  # sub-millisecond LAN hop
+
+    def test_default_link_used_when_configured(self):
+        net = SimNetwork()
+        net.default_link = LinkSpec(delay_s=0.03)
+        net.add_host("a")
+        net.add_host("b")
+        got = []
+        net.host("b").on_receive(lambda s, p: got.append(net.sim.now))
+        net.send("a", "b", "p", 1)
+        net.run()
+        assert got[0] == pytest.approx(0.03)
+
+    def test_self_connection_rejected(self):
+        net = SimNetwork()
+        net.add_host("a")
+        with pytest.raises(NetworkError):
+            net.connect("a", "a", LinkSpec(delay_s=0.01))
+
+    def test_bidirectional_connect(self):
+        net = SimNetwork()
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b", LinkSpec(delay_s=0.01))
+        got = []
+        net.host("a").on_receive(lambda s, p: got.append(p))
+        net.send("b", "a", "back", 1)
+        net.run()
+        assert got == ["back"]
+
+    def test_non_positive_size_rejected(self):
+        net, _ = make_pair(LinkSpec(delay_s=0.01))
+        with pytest.raises(NetworkError):
+            net.send("a", "b", "p", 0)

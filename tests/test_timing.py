@@ -1,0 +1,97 @@
+"""Unit tests for the timed control-plane models (timing.py API)."""
+
+import pytest
+
+from repro.controller.timing import (
+    ControlPlaneLatencies,
+    Milestone,
+    PAPER_ROUTE_UPDATE_MS,
+    PAPER_TABLE2_MS,
+    Timeline,
+    simulate_chain_route_update,
+    simulate_edge_site_addition,
+)
+
+
+class TestTimeline:
+    def test_total_is_latest_end(self):
+        timeline = Timeline(
+            [Milestone("a", 0.0, 0.1), Milestone("b", 0.1, 0.5)]
+        )
+        assert timeline.total_s == 0.5
+
+    def test_empty_timeline_total_zero(self):
+        assert Timeline().total_s == 0.0
+
+    def test_summed_durations(self):
+        timeline = Timeline(
+            [Milestone("a", 0.0, 0.1), Milestone("b", 0.0, 0.2)]
+        )
+        assert timeline.summed_durations_s == pytest.approx(0.3)
+
+    def test_duration_of_unknown_operation(self):
+        with pytest.raises(KeyError):
+            Timeline().duration_of("ghost")
+
+
+class TestRouteUpdate:
+    def test_default_total_matches_paper(self):
+        timeline = simulate_chain_route_update()
+        assert timeline.total_s * 1e3 == pytest.approx(
+            PAPER_ROUTE_UPDATE_MS, rel=0.05
+        )
+
+    def test_config_tracks_end_to_end(self):
+        timeline = simulate_chain_route_update()
+        edge_done = next(
+            m.end_s
+            for m in timeline.milestones
+            if m.operation == "edge-side forwarder configuration"
+        )
+        vnf_done = next(
+            m.end_s
+            for m in timeline.milestones
+            if m.operation == "VNF-side forwarder configuration"
+        )
+        # The two tracks run concurrently; completion is the slower one.
+        assert timeline.total_s == pytest.approx(max(edge_done, vnf_done))
+
+    def test_faster_wan_shortens_update(self):
+        fast = simulate_chain_route_update(
+            ControlPlaneLatencies(gs_rpc_oneway_s=0.001)
+        )
+        slow = simulate_chain_route_update(
+            ControlPlaneLatencies(gs_rpc_oneway_s=0.050)
+        )
+        assert fast.total_s < slow.total_s
+
+    def test_milestones_contiguous_in_shared_prefix(self):
+        timeline = simulate_chain_route_update()
+        shared = timeline.milestones[:8]
+        for first, second in zip(shared, shared[1:]):
+            assert second.start_s == pytest.approx(first.end_s)
+
+
+class TestEdgeSiteAddition:
+    def test_rows_match_paper_table(self):
+        timeline = simulate_edge_site_addition()
+        for operation, paper_ms in PAPER_TABLE2_MS.items():
+            assert timeline.duration_of(operation) * 1e3 == pytest.approx(
+                paper_ms, abs=1.0
+            )
+
+    def test_operation_order_matches_table(self):
+        timeline = simulate_edge_site_addition()
+        names = [m.operation for m in timeline.milestones]
+        assert names == list(PAPER_TABLE2_MS)
+
+    def test_total_under_600ms(self):
+        timeline = simulate_edge_site_addition()
+        assert timeline.summed_durations_s < 0.6
+
+    def test_custom_latencies_flow_through(self):
+        custom = ControlPlaneLatencies(edge_dataplane_config_s=0.5)
+        timeline = simulate_edge_site_addition(custom)
+        assert timeline.duration_of(
+            "Edge instance's fwrdr dataplane configured"
+        ) == pytest.approx(0.5)

@@ -1,0 +1,116 @@
+"""Tests for the traffic shaper and IDS network functions."""
+
+import pytest
+
+from repro.dataplane.forwarder import DropPacket
+from repro.dataplane.labels import FiveTuple, Packet
+from repro.vnf.ids import IntrusionDetector
+from repro.vnf.shaper import ShaperError, TokenBucketShaper
+
+
+def packet(i=0, size=1000, payload=None, dst_port=80):
+    return Packet(
+        FiveTuple("10.0.0.1", "20.0.0.1", "tcp", 1000 + i, dst_port),
+        size_bytes=size,
+        payload=payload,
+    )
+
+
+class TestTokenBucketShaper:
+    def test_burst_admitted_up_to_bucket(self):
+        shaper = TokenBucketShaper(rate_bytes_per_s=1000, burst_bytes=3000)
+        for _ in range(3):
+            shaper(packet(size=1000))
+        assert shaper.forwarded == 3
+
+    def test_excess_burst_dropped(self):
+        shaper = TokenBucketShaper(rate_bytes_per_s=1000, burst_bytes=2500)
+        shaper(packet(size=1000))
+        shaper(packet(size=1000))
+        with pytest.raises(DropPacket):
+            shaper(packet(size=1000))
+        assert shaper.dropped == 1
+
+    def test_tokens_refill_with_time(self):
+        shaper = TokenBucketShaper(rate_bytes_per_s=1000, burst_bytes=1000)
+        shaper(packet(size=1000))
+        with pytest.raises(DropPacket):
+            shaper(packet(size=1000))
+        shaper.advance(1.0)  # +1000 bytes of tokens
+        shaper(packet(size=1000))
+        assert shaper.forwarded == 2
+
+    def test_tokens_capped_at_burst(self):
+        shaper = TokenBucketShaper(rate_bytes_per_s=1000, burst_bytes=1500)
+        shaper.advance(100.0)
+        assert shaper.tokens == 1500
+
+    def test_sustained_rate_enforced(self):
+        shaper = TokenBucketShaper(rate_bytes_per_s=2000, burst_bytes=2000)
+        sent = 0
+        for _step in range(10):  # 10 x 0.5 s; 1000 B budget per step
+            shaper.advance(0.5)
+            for _ in range(3):
+                try:
+                    shaper(packet(size=1000))
+                    sent += 1
+                except DropPacket:
+                    pass
+        # 2000 B/s * 5 s = 10 kB plus the initial 2 kB burst.
+        assert 10 <= sent <= 12
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ShaperError):
+            TokenBucketShaper(0, 100)
+        with pytest.raises(ShaperError):
+            TokenBucketShaper(100, 0)
+        shaper = TokenBucketShaper(100, 100)
+        with pytest.raises(ShaperError):
+            shaper.advance(-1.0)
+
+
+class TestIntrusionDetector:
+    def test_clean_traffic_passes(self):
+        ids = IntrusionDetector(signatures=["EVIL"])
+        ids(packet(payload="hello world"))
+        assert ids.packets_inspected == 1
+        assert not ids.alerts
+
+    def test_signature_match_alerts_and_drops(self):
+        ids = IntrusionDetector(signatures=["EVIL"])
+        with pytest.raises(DropPacket):
+            ids(packet(payload="xxEVILxx"))
+        assert ids.alerts[0].kind == "signature"
+        assert ids.packets_dropped == 1
+
+    def test_detection_only_mode_alerts_without_dropping(self):
+        ids = IntrusionDetector(signatures=["EVIL"], prevention=False)
+        ids(packet(payload="xxEVILxx"))
+        assert len(ids.alerts) == 1
+        assert ids.packets_dropped == 0
+
+    def test_port_scan_detected_and_source_blocked(self):
+        ids = IntrusionDetector(scan_port_threshold=5)
+        for port in range(5):
+            ids(packet(dst_port=1000 + port))
+        with pytest.raises(DropPacket):
+            ids(packet(dst_port=2000))  # 6th distinct port
+        assert ids.is_blocked("10.0.0.1")
+        assert any(a.kind == "port-scan" for a in ids.alerts)
+        # All further traffic from the source is dropped.
+        with pytest.raises(DropPacket):
+            ids(packet(dst_port=80))
+
+    def test_same_port_does_not_trip_scan(self):
+        ids = IntrusionDetector(scan_port_threshold=3)
+        for i in range(20):
+            ids(packet(i=i, dst_port=80))
+        assert not ids.alerts
+
+    def test_add_signature(self):
+        ids = IntrusionDetector()
+        ids.add_signature("BAD")
+        with pytest.raises(DropPacket):
+            ids(packet(payload="BAD stuff"))
+        with pytest.raises(ValueError):
+            ids.add_signature("")
