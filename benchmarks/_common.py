@@ -18,7 +18,33 @@ from __future__ import annotations
 import os
 from typing import Sequence
 
+import pytest
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def metrics_enabled() -> bool:
+    """True when the REPRO_METRICS environment variable opts in."""
+    return os.environ.get("REPRO_METRICS", "0") not in ("", "0")
+
+
+@pytest.fixture
+def obs_registry():
+    """Opt-in observability for benchmark runs.
+
+    Yields ``None`` by default, so instrumented code paths stay on their
+    zero-cost branch and benchmark numbers are unaffected.  Run with
+    ``REPRO_METRICS=1`` to get a live :class:`repro.obs.MetricsRegistry`
+    instead; its full report is printed at teardown (use ``pytest -s``).
+    """
+    if not metrics_enabled():
+        yield None
+        return
+    from repro.obs import MetricsRegistry, render_report
+
+    registry = MetricsRegistry()
+    yield registry
+    print("\n" + render_report(registry, title="benchmark metrics"))
 
 
 def format_table(

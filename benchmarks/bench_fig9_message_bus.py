@@ -21,12 +21,13 @@ UPLINK_BPS = 8e6  # 1000 msgs/s of 1000 B
 BUFFER_BYTES = 400_000
 
 
-def run_bus(make):
+def run_bus(make, metrics=None):
     bus = make(
         SITES,
         wan_delay_s=WAN_DELAY_S,
         uplink_bps=UPLINK_BPS,
         uplink_buffer_bytes=BUFFER_BYTES,
+        metrics=metrics,
     )
     topic = Topic(chain="c1", egress="e3", vnf="G", site="S0", kind="instances")
     bus.attach("pub", "S0")
@@ -43,12 +44,14 @@ def run_bus(make):
     return bus.stats
 
 
-def run_figure9():
-    return run_bus(make_bus), run_bus(make_full_mesh_bus)
+def run_figure9(metrics=None):
+    return run_bus(make_bus, metrics), run_bus(make_full_mesh_bus, metrics)
 
 
-def test_fig9_message_bus(benchmark):
-    proxy, mesh = benchmark.pedantic(run_figure9, iterations=1, rounds=1)
+def test_fig9_message_bus(benchmark, obs_registry):
+    proxy, mesh = benchmark.pedantic(
+        run_figure9, args=(obs_registry,), iterations=1, rounds=1
+    )
     latency_ratio = mesh.mean_latency() / proxy.mean_latency()
     throughput_gain = proxy.delivered / mesh.delivered - 1
     rows = [

@@ -1,0 +1,3 @@
+"""Benchmark-suite fixtures (re-exported from ``_common``)."""
+
+from _common import obs_registry  # noqa: F401

@@ -14,7 +14,7 @@ the publisher's proxy.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence, TYPE_CHECKING
 
 from repro.bus.bus import (
     BusClient,
@@ -28,16 +28,25 @@ from repro.bus.bus import (
 from repro.bus.topics import Topic
 from repro.simnet.network import SimNetwork
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
+
 
 class FullMeshBus:
     """Per-subscriber broadcast over the same proxy/uplink substrate."""
 
     MESSAGE_BYTES = 1000
 
-    def __init__(self, network: SimNetwork, sites: Sequence[str]):
+    def __init__(
+        self,
+        network: SimNetwork,
+        sites: Sequence[str],
+        metrics: "MetricsRegistry | None" = None,
+    ):
         self.network = network
         self.sites = list(sites)
         self.stats = BusStats()
+        self.metrics = metrics
         self.clients: dict[str, BusClient] = {}
         #: Global subscriber registry: topic -> subscriber names.  In a
         #: full-mesh design every publisher knows every subscriber.
@@ -71,7 +80,18 @@ class FullMeshBus:
         client = self._client(client_name)
         if callback is not None:
             client.callback = callback
-        self._subscribers.setdefault(str(topic), []).append(client_name)
+        subscribers = self._subscribers.setdefault(str(topic), [])
+        if client_name not in subscribers:
+            subscribers.append(client_name)
+
+    def unsubscribe(self, client_name: str, topic: Topic | str) -> None:
+        topic = Topic.parse(topic) if isinstance(topic, str) else topic
+        key = str(topic)
+        subscribers = self._subscribers.get(key, [])
+        if client_name in subscribers:
+            subscribers.remove(client_name)
+        if not subscribers:
+            self._subscribers.pop(key, None)
 
     def publish(
         self,
@@ -122,12 +142,20 @@ class FullMeshBus:
                     )
                     continue
                 self.stats.wan_messages += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "bus.wan_messages", site=site, topic=message["topic"]
+                    ).inc()
                 copy["dest_site"] = target.site
                 sent = self.network.send(
                     proxy_name(site), gateway_name(site), copy, message["size"]
                 )
                 if not sent:
                     self.stats.wan_drops += 1
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "bus.wan_drops", site=site, topic=message["topic"]
+                        ).inc()
 
         return receive
 
@@ -170,9 +198,10 @@ def make_full_mesh_bus(
     uplink_bps: float = 100e6,
     uplink_buffer_bytes: int = 256_000,
     network: SimNetwork | None = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> FullMeshBus:
     """Build the network and a full-mesh bus in one call."""
     net = build_bus_network(
-        sites, wan_delay_s, uplink_bps, uplink_buffer_bytes, network
+        sites, wan_delay_s, uplink_bps, uplink_buffer_bytes, network, metrics
     )
-    return FullMeshBus(net, sites)
+    return FullMeshBus(net, sites, metrics=metrics)

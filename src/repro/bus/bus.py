@@ -15,10 +15,13 @@ Figure 9.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence, TYPE_CHECKING
 
 from repro.bus.topics import Topic
 from repro.simnet.network import LinkSpec, SimNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 
 class BusError(Exception):
@@ -80,6 +83,7 @@ def build_bus_network(
     uplink_bps: float = 100e6,
     uplink_buffer_bytes: int = 256_000,
     network: SimNetwork | None = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> SimNetwork:
     """Create the proxy + WAN-gateway hosts for a multi-site bus.
 
@@ -89,7 +93,7 @@ def build_bus_network(
     propagation delay.  ``wan_delay_s`` is either a per-pair map or one
     uniform one-way delay.
     """
-    net = network if network is not None else SimNetwork()
+    net = network if network is not None else SimNetwork(metrics=metrics)
     for site in sites:
         net.add_host(proxy_name(site), site=site)
         net.add_host(gateway_name(site), site=site)
@@ -134,10 +138,16 @@ class GlobalMessageBus:
     #: Default control/data message size on the wire (bytes).
     MESSAGE_BYTES = 1000
 
-    def __init__(self, network: SimNetwork, sites: Sequence[str]):
+    def __init__(
+        self,
+        network: SimNetwork,
+        sites: Sequence[str],
+        metrics: "MetricsRegistry | None" = None,
+    ):
         self.network = network
         self.sites = list(sites)
         self.stats = BusStats()
+        self.metrics = metrics
         self.clients: dict[str, BusClient] = {}
         # Publisher-site proxy state: topic -> set of subscriber sites.
         self._site_filters: dict[str, dict[str, set[str]]] = {
@@ -172,7 +182,8 @@ class GlobalMessageBus:
         topic: Topic | str,
         callback: Callable[[str, Any], None] | None = None,
     ) -> None:
-        """Install a subscription.
+        """Install a subscription.  Idempotent: re-subscribing an
+        already-subscribed client only refreshes its callback.
 
         The filter lands at the proxy of the topic's *publisher* site
         (inferred from the topic); the subscriber's own proxy records the
@@ -187,9 +198,17 @@ class GlobalMessageBus:
         if publisher_site not in self._site_filters:
             raise BusError(f"topic names unknown site {publisher_site!r}")
         self._site_filters[publisher_site].setdefault(key, set()).add(client.site)
-        self._local_subscribers[client.site].setdefault(key, []).append(client.name)
+        locals_ = self._local_subscribers[client.site].setdefault(key, [])
+        if client.name not in locals_:
+            locals_.append(client.name)
+        if self.metrics is not None:
+            self.metrics.counter("bus.subscriptions", topic=key).inc()
 
     def unsubscribe(self, client_name: str, topic: Topic | str) -> None:
+        """Remove a subscription; the exact inverse of :meth:`subscribe`.
+        When the last local subscriber for the topic leaves, the site's
+        entry in the publisher-site filter is cleared too, so the
+        publisher's proxy stops sending WAN copies this way."""
         topic = Topic.parse(topic) if isinstance(topic, str) else topic
         client = self._client(client_name)
         key = str(topic)
@@ -198,9 +217,12 @@ class GlobalMessageBus:
             locals_.remove(client.name)
         if not locals_:
             self._local_subscribers[client.site].pop(key, None)
-            self._site_filters[topic.publisher_site].get(key, set()).discard(
-                client.site
-            )
+            publisher_filters = self._site_filters[topic.publisher_site]
+            sites = publisher_filters.get(key)
+            if sites is not None:
+                sites.discard(client.site)
+                if not sites:
+                    publisher_filters.pop(key, None)
 
     def publish(
         self,
@@ -213,6 +235,8 @@ class GlobalMessageBus:
         topic = Topic.parse(topic) if isinstance(topic, str) else topic
         client = self._client(client_name)
         self.stats.published += 1
+        if self.metrics is not None:
+            self.metrics.counter("bus.published", topic=str(topic)).inc()
         message = {
             "kind": "pub",
             "topic": str(topic),
@@ -248,11 +272,14 @@ class GlobalMessageBus:
         """Publisher-site proxy: one WAN copy per subscribed site."""
         key = message["topic"]
         subscriber_sites = self._site_filters[site].get(key, set())
+        metrics = self.metrics
         for target_site in sorted(subscriber_sites):
             if target_site == site:
                 self._deliver_local(site, message)
                 continue
             self.stats.wan_messages += 1
+            if metrics is not None:
+                metrics.counter("bus.wan_messages", site=site, topic=key).inc()
             sent = self.network.send(
                 proxy_name(site),
                 gateway_name(site),
@@ -261,6 +288,8 @@ class GlobalMessageBus:
             )
             if not sent:
                 self.stats.wan_drops += 1
+                if metrics is not None:
+                    metrics.counter("bus.wan_drops", site=site, topic=key).inc()
 
     def _deliver_local(self, site: str, message: dict) -> None:
         key = message["topic"]
@@ -276,6 +305,10 @@ class GlobalMessageBus:
             self.stats.deliveries.append(
                 Delivery(message["topic"], client.name, message["published_at"], now)
             )
+            if self.metrics is not None:
+                self.metrics.histogram(
+                    "bus.delivery_latency_s", topic=message["topic"]
+                ).observe(now - message["published_at"])
             if client.callback is not None:
                 client.callback(message["topic"], message["payload"])
 
@@ -315,11 +348,12 @@ def make_bus(
     uplink_bps: float = 100e6,
     uplink_buffer_bytes: int = 256_000,
     network: SimNetwork | None = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> GlobalMessageBus:
     """Build the network and a ready-to-use proxy bus in one call."""
     net = build_bus_network(
-        sites, wan_delay_s, uplink_bps, uplink_buffer_bytes, network
+        sites, wan_delay_s, uplink_bps, uplink_buffer_bytes, network, metrics
     )
-    bus = GlobalMessageBus(net, sites)
+    bus = GlobalMessageBus(net, sites, metrics=metrics)
     install_gateway_relays(bus)
     return bus

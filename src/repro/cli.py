@@ -7,6 +7,7 @@ Usage::
     python -m repro cache [--shared/--siloed both by default]
     python -m repro bus [--rate HZ] [--sites N]
     python -m repro timing
+    python -m repro metrics [--publishes N] [--rate HZ] [--json]
 """
 
 from __future__ import annotations
@@ -166,6 +167,133 @@ def _cmd_timing(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run an instrumented end-to-end experiment and print the report.
+
+    Three phases share one simulator and one registry: a bus-driven
+    chain installation (2PC stage timings), a pub/sub load phase that
+    overloads site A's WAN uplink (queueing-delay histograms and
+    WAN-drop counters), and one run of each solver (wall-clock
+    timings).
+    """
+    import random
+
+    from repro.bus import Topic, make_bus
+    from repro.controller import (
+        ChainSpecification,
+        GlobalSwitchboard,
+        LocalSwitchboard,
+    )
+    from repro.controller.protocol import BusDrivenInstaller
+    from repro.core.dp import route_chains_dp
+    from repro.core.lp import LpObjective, solve_chain_routing_lp
+    from repro.core.model import CloudSite, NetworkModel, VNF
+    from repro.dataplane import DataPlane, FiveTuple, Packet
+    from repro.edge import EdgeController, EdgeInstance
+    from repro.obs import (
+        MetricsRegistry,
+        collect_bus,
+        collect_dataplane,
+        collect_network,
+        registry_to_json,
+        render_report,
+    )
+    from repro.simnet.events import Simulator
+    from repro.simnet.network import SimNetwork
+    from repro.vnf import VnfService
+
+    sites = ["A", "B", "C"]
+    sim = Simulator()
+    registry = MetricsRegistry.for_simulator(sim)
+    net = SimNetwork(sim, metrics=registry)
+    bus = make_bus(
+        sites,
+        wan_delay_s=0.030,
+        uplink_bps=args.uplink_bps,
+        uplink_buffer_bytes=args.buffer_bytes,
+        network=net,
+        metrics=registry,
+    )
+
+    # Phase 1: install a chain through the bus-driven 2PC protocol.
+    model = NetworkModel(
+        ["a", "b", "c"],
+        {("a", "b"): 10.0, ("a", "c"): 30.0, ("b", "c"): 15.0},
+        [CloudSite(s, s.lower(), 100.0) for s in sites],
+        [VNF("fw", 1.0, {"B": 40.0})],
+    )
+    dp = DataPlane(random.Random(0), metrics=registry)
+    gs = GlobalSwitchboard(model, dp, metrics=registry)
+    for site in sites:
+        gs.register_local_switchboard(LocalSwitchboard(site, dp))
+    gs.register_vnf_service(VnfService("fw", 1.0, {"B": 40.0}))
+    edge = EdgeController("vpn")
+    ingress = EdgeInstance("edge.A", "A", dp)
+    edge.register_instance(ingress)
+    egress = EdgeInstance("edge.C", "C", dp)
+    edge.register_instance(egress)
+    edge.register_attachment("in", "A")
+    edge.register_attachment("out", "C")
+    gs.register_edge_service(edge)
+    egress.attach_forwarder(gs.local_switchboard("C").forwarders[0].name)
+    installer = BusDrivenInstaller(
+        gs,
+        bus,
+        gs_site="A",
+        edge_controller_site="A",
+        vnf_controller_sites={"fw": "B"},
+        metrics=registry,
+    )
+    timeline = installer.install(
+        ChainSpecification(
+            "corp", "vpn", "in", "out", ["fw"],
+            forward_demand=5.0,
+            src_prefix="10.0.0.0/24",
+            dst_prefixes=["20.0.0.0/24"],
+        )
+    )
+    net.run()
+    if timeline.failed is not None:
+        print(f"chain installation failed: {timeline.failed}", file=sys.stderr)
+        return 1
+    # A few connections through the installed chain: exercises the
+    # forwarders' flow tables (misses on first packet, hits after).
+    for i in range(4):
+        flow = FiveTuple("10.0.0.5", "20.0.0.9", "tcp", 40_000 + i, 80)
+        for _ in range(3):
+            ingress.ingress(Packet(flow))
+
+    # Phase 2: saturate A's uplink with pub/sub fan-out.  Two WAN
+    # copies per publish (sites B and C) at the default rate offer
+    # 2 * 8 kbit * rate = 16 Mbps against an 8 Mbps uplink: the queue
+    # builds, then the buffer overflows and the proxy starts dropping.
+    topic = Topic("load", "C", "L", "A", "instances")
+    bus.attach("load.pub", "A")
+    for site in ("B", "C"):
+        for j in range(args.subscribers):
+            name = f"load.sub-{site}-{j}"
+            bus.attach(name, site)
+            bus.subscribe(name, topic)
+    for i in range(args.publishes):
+        sim.schedule(i / args.rate, bus.publish, "load.pub", topic, {"seq": i})
+    net.run()
+
+    # Phase 3: one solver pass each for wall-clock timings.
+    route_chains_dp(model, metrics=registry)
+    solve_chain_routing_lp(
+        model, LpObjective.MAX_THROUGHPUT, metrics=registry
+    )
+
+    collect_network(registry, net)
+    collect_bus(registry, bus)
+    collect_dataplane(registry, dp)
+    if args.json:
+        print(registry_to_json(registry))
+    else:
+        print(render_report(registry, title="repro metrics: bus experiment"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -208,6 +336,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("timing", help="control-plane latency breakdowns")
     p.set_defaults(func=_cmd_timing)
+
+    p = sub.add_parser(
+        "metrics", help="instrumented end-to-end run with a full obs report"
+    )
+    p.add_argument("--publishes", type=int, default=400)
+    p.add_argument("--rate", type=float, default=1000.0)
+    p.add_argument("--subscribers", type=int, default=3)
+    p.add_argument("--uplink-bps", type=float, default=8e6)
+    p.add_argument("--buffer-bytes", type=int, default=64_000)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_metrics)
     return parser
 
 

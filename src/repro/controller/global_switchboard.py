@@ -20,8 +20,13 @@ Table 2).
 
 from __future__ import annotations
 
+import contextlib
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 from repro.core.dp import DpConfig, IncrementalDpRouter
 from repro.core.model import Chain, NetworkModel
@@ -70,9 +75,11 @@ class GlobalSwitchboard:
         model: NetworkModel,
         dataplane: DataPlane,
         dp_config: DpConfig | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ):
         self.model = model
         self.dataplane = dataplane
+        self.metrics = metrics
         self.router = IncrementalDpRouter(model, dp_config)
         self.labels = LabelAllocator()
         self.locals: dict[str, LocalSwitchboard] = {}
@@ -105,8 +112,18 @@ class GlobalSwitchboard:
 
     # -- chain lifecycle ----------------------------------------------------
 
+    def _span(self, name: str, **labels):
+        """A tracing span when a registry is attached, else a no-op."""
+        if self.metrics is None:
+            return contextlib.nullcontext()
+        return self.metrics.span(name, **labels)
+
     def create_chain(self, spec: ChainSpecification) -> ChainInstallation:
         """Install a chain end to end (the Figure 4 flow)."""
+        with self._span("install.create_chain", chain=spec.name):
+            return self._create_chain(spec)
+
+    def _create_chain(self, spec: ChainSpecification) -> ChainInstallation:
         edge = self.edge_controllers.get(spec.edge_service)
         if edge is None:
             raise InstallationError(f"unknown edge service {spec.edge_service!r}")
@@ -262,7 +279,8 @@ class GlobalSwitchboard:
     ) -> tuple[float, dict[tuple[str, str], float]]:
         """Route the chain and 2PC its capacity; recompute on rejection."""
         for _attempt in range(self.MAX_COMMIT_ATTEMPTS):
-            routed = self.router.route(chain_name)
+            with self._span("install.route_compute", chain=chain_name):
+                routed = self.router.route(chain_name)
             if routed <= _EPS:
                 self.router.rollback(chain_name)
                 raise InstallationError(
@@ -275,6 +293,8 @@ class GlobalSwitchboard:
             # A VNF controller rejected: reconcile its reported capacity,
             # roll the route back, and recompute (Section 3 step 2).
             vnf_name, site = rejection
+            if self.metrics is not None:
+                self.metrics.counter("2pc.rejections", chain=chain_name).inc()
             self.router.rollback(chain_name)
             service = self.vnf_services[vnf_name]
             self.router.sync_vnf_capacity(vnf_name, site, service.available(site))
@@ -310,15 +330,17 @@ class GlobalSwitchboard:
         """Phase 1 everywhere, then phase 2.  Returns the rejecting
         (vnf, site) or None on success."""
         prepared: list[tuple[str, str]] = []
-        for (vnf_name, site), load in sorted(loads.items()):
-            service = self.vnf_services[vnf_name]
-            if not service.prepare(chain_name, site, load):
-                for p_vnf, p_site in prepared:
-                    self.vnf_services[p_vnf].abort(chain_name, p_site)
-                return (vnf_name, site)
-            prepared.append((vnf_name, site))
-        for vnf_name, site in prepared:
-            self.vnf_services[vnf_name].commit(chain_name, site)
+        with self._span("2pc.prepare", chain=chain_name):
+            for (vnf_name, site), load in sorted(loads.items()):
+                service = self.vnf_services[vnf_name]
+                if not service.prepare(chain_name, site, load):
+                    for p_vnf, p_site in prepared:
+                        self.vnf_services[p_vnf].abort(chain_name, p_site)
+                    return (vnf_name, site)
+                prepared.append((vnf_name, site))
+        with self._span("2pc.commit", chain=chain_name):
+            for vnf_name, site in prepared:
+                self.vnf_services[vnf_name].commit(chain_name, site)
         return None
 
     def _commit_delta(
@@ -491,6 +513,9 @@ class GlobalSwitchboard:
         label = installation.label
         egress_site = installation.egress_site
         solution = self.router.solution
+        rule_installs = self.metrics.counter("rules.installed") if (
+            self.metrics is not None
+        ) else None
 
         # Position-0 rule on the ingress site's edge forwarder.
         if only_site is None or only_site == installation.ingress_site:
@@ -500,6 +525,8 @@ class GlobalSwitchboard:
                 egress_site,
                 self._next_hop_weights(installation, 0, site=None),
             )
+            if rule_installs is not None:
+                rule_installs.inc()
 
         # VNF rules: for every (position, site) carrying traffic, every
         # forwarder fronting that VNF's instances at the site.
@@ -538,3 +565,5 @@ class GlobalSwitchboard:
                             prev_forwarders=WeightedChoice(prev_hops),
                         ),
                     )
+                    if rule_installs is not None:
+                        rule_installs.inc()

@@ -31,7 +31,11 @@ Installation completes when every site on the route has configured.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.trace import Span
 
 from repro.bus.bus import GlobalMessageBus
 from repro.bus.topics import Topic
@@ -103,6 +107,7 @@ class BusDrivenInstaller:
         vnf_controller_sites: dict[str, str],
         delays: ProtocolDelays | None = None,
         wan_delay_s: dict[tuple[str, str], float] | float | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ):
         self.gs = gs
         self.bus = bus
@@ -110,6 +115,9 @@ class BusDrivenInstaller:
         self.sim = bus.network.sim
         self.delays = delays or ProtocolDelays()
         self._wan_delay = wan_delay_s
+        #: Observability sink; spans measure *simulated* seconds when the
+        #: registry's clock is this network's simulator.
+        self.metrics = metrics
 
         host_sites: dict[str, str] = {}
 
@@ -181,6 +189,26 @@ class BusDrivenInstaller:
             return link.spec.delay_s
         return 0.020
 
+    # -- tracing helpers -------------------------------------------------
+
+    def _start_stage(self, pending: "_PendingInstall", stage: str) -> None:
+        if self.metrics is None:
+            return
+        pending.spans[stage] = self.metrics.start_span(
+            stage, chain=pending.spec.name
+        )
+
+    def _finish_stage(self, pending: "_PendingInstall", stage: str) -> None:
+        if self.metrics is None:
+            return
+        span = pending.spans.pop(stage, None)
+        if span is not None:
+            span.finish()
+
+    def _finish_open_stages(self, pending: "_PendingInstall") -> None:
+        for stage in list(pending.spans):
+            self._finish_stage(pending, stage)
+
     # -- public API ------------------------------------------------------
 
     def install(
@@ -194,7 +222,10 @@ class BusDrivenInstaller:
         completion; the timeline fills in as milestones pass.
         """
         timeline = InstallationTimeline(requested_at=self.sim.now)
-        self._pending[spec.name] = _PendingInstall(spec, timeline, on_complete)
+        pending = _PendingInstall(spec, timeline, on_complete)
+        self._pending[spec.name] = pending
+        self._start_stage(pending, "install.total")
+        self._start_stage(pending, "install.resolve")
         # Arrow 0: the portal's request reaches Global Switchboard.
         self.sim.schedule(
             0.0,
@@ -259,6 +290,8 @@ class BusDrivenInstaller:
     def _on_sites_resolved(self, message: dict) -> None:
         pending = self._pending[message["chain"]]
         pending.timeline.sites_resolved_at = self.sim.now
+        self._finish_stage(pending, "install.resolve")
+        self._start_stage(pending, "install.route_compute")
         pending.ingress_site = message["ingress_site"]
         pending.egress_site = message["egress_site"]
 
@@ -295,11 +328,13 @@ class BusDrivenInstaller:
             self.gs.model.remove_chain(spec.name)
             self._fail(pending, str(exc))
             return
+        self._finish_stage(pending, "install.route_compute")
         pending.loads = self.gs._chain_loads(spec.name)
         pending.awaiting_prepare = set(pending.loads)
         if not pending.awaiting_prepare:
             self._publish_route(pending)
             return
+        self._start_stage(pending, "2pc.prepare")
         for (vnf_name, site), load in pending.loads.items():
             self.sim.schedule(
                 0.0,
@@ -355,6 +390,11 @@ class BusDrivenInstaller:
         pending = self._pending[message["chain"]]
         key = (message["vnf"], message["site"])
         if not message["ok"]:
+            self._finish_stage(pending, "2pc.prepare")
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "2pc.rejections", chain=pending.spec.name
+                ).inc()
             # Rejection: abort the other reservations, reconcile the
             # rejecting VNF's reported capacity, roll the route back, and
             # recompute -- the Section 3 step-2 retry, as in the
@@ -377,12 +417,15 @@ class BusDrivenInstaller:
             self.gs.router.sync_vnf_capacity(
                 vnf_name, site, service.available(site)
             )
+            self._start_stage(pending, "install.route_compute")
             self.sim.schedule(
                 self.delays.route_compute_s, self._recompute_route, pending
             )
             return
         pending.awaiting_prepare.discard(key)
         if not pending.awaiting_prepare:
+            self._finish_stage(pending, "2pc.prepare")
+            self._start_stage(pending, "2pc.commit")
             pending.awaiting_commit = set(pending.loads)
             for vnf_name, site in pending.loads:
                 self.network.send(
@@ -397,6 +440,7 @@ class BusDrivenInstaller:
         pending.awaiting_commit.discard((message["vnf"], message["site"]))
         if not pending.awaiting_commit:
             pending.timeline.route_committed_at = self.sim.now
+            self._finish_stage(pending, "2pc.commit")
             self._publish_route(pending)
 
     # -- arrows 3-5: bus publications and rule installation ------------------
@@ -424,6 +468,7 @@ class BusDrivenInstaller:
         self.gs.installations[spec.name] = installation
         pending.timeline.installation = installation
         pending.timeline.route_published_at = self.sim.now
+        self._start_stage(pending, "install.configure")
         # The edge controller configures classifiers (arrow 4, edge side).
         self.network.send(
             self.gs_host,
@@ -508,6 +553,7 @@ class BusDrivenInstaller:
                 needed = self._route_sites(pending)
                 if needed <= set(pending.timeline.site_configured_at):
                     pending.timeline.completed_at = self.sim.now
+                    self._complete(pending)
                     if pending.on_complete is not None:
                         pending.on_complete(pending.timeline)
 
@@ -527,6 +573,7 @@ class BusDrivenInstaller:
             now = self.sim.now
             pending.timeline.site_configured_at[pending.ingress_site] = now
             pending.timeline.completed_at = now
+            self._complete(pending)
             if pending.on_complete is not None:
                 pending.on_complete(pending.timeline)
 
@@ -535,8 +582,16 @@ class BusDrivenInstaller:
             configure,
         )
 
+    def _complete(self, pending: "_PendingInstall") -> None:
+        self._finish_open_stages(pending)
+        if self.metrics is not None:
+            self.metrics.counter("install.completed").inc()
+
     def _fail(self, pending: "_PendingInstall", reason: str) -> None:
         pending.timeline.failed = reason
+        self._finish_open_stages(pending)
+        if self.metrics is not None:
+            self.metrics.counter("install.failed").inc()
         if pending.on_complete is not None:
             pending.on_complete(pending.timeline)
 
@@ -556,3 +611,6 @@ class _PendingInstall:
     involved_topics: set[str] = field(default_factory=set)
     #: site -> topics whose instance info has arrived there.
     seen_instance_info: dict[str, set[str]] = field(default_factory=dict)
+    #: stage name -> open tracing span (populated only when the
+    #: installer was built with a metrics registry).
+    spans: "dict[str, Span]" = field(default_factory=dict)

@@ -24,6 +24,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 from scipy.optimize import linprog
@@ -31,6 +32,9 @@ from scipy.sparse import csr_matrix
 
 from repro.core.model import NetworkModel
 from repro.core.routes import RoutingSolution
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 
 class LpError(Exception):
@@ -91,6 +95,7 @@ def solve_chain_routing_lp(
     objective: LpObjective = LpObjective.MIN_LATENCY,
     enforce_mlu: bool = True,
     latency_tiebreak: float = 1e-6,
+    metrics: "MetricsRegistry | None" = None,
 ) -> LpResult:
     """Solve the chain-routing problem optimally.
 
@@ -292,6 +297,17 @@ def solve_chain_routing_lp(
     )
     elapsed = time.perf_counter() - start
     n_constraints = len(b_ub) + len(b_eq)
+    if metrics is not None:
+        # Wall-clock solver time: here the interesting duration is how
+        # long HiGHS takes on the host, not simulated seconds.
+        metrics.histogram(
+            "solver.lp_solve_s", objective=objective.value
+        ).observe(elapsed)
+        metrics.counter(
+            "solver.lp_solves",
+            objective=objective.value,
+            ok=str(bool(result.success)).lower(),
+        ).inc()
 
     if not result.success:
         status = "infeasible" if result.status == 2 else f"failed({result.status})"

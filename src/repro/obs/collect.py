@@ -1,0 +1,79 @@
+"""Snapshot collectors: fold accumulated subsystem stats into gauges.
+
+Hot paths mostly keep their existing cheap counters (``LinkStats``,
+``FlowTable.hits``, ``Forwarder.packets_forwarded`` ...); these
+collectors copy those totals into a registry at report time, so a run
+gets a complete picture even for subsystems that were not built with a
+live registry attached.  Collect is idempotent -- gauges are *set*, not
+added -- so calling it repeatedly (e.g. periodically from a simulator
+process) just refreshes the snapshot.
+
+Snapshot gauges of cumulative totals carry a ``_total`` suffix so they
+never collide with the live counters of the same subsystem (e.g. the
+``link.delivered`` counter vs the ``link.delivered_total`` gauge);
+point-in-time quantities (``link.in_flight``, ``flowtable.entries``)
+keep plain names.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bus.broadcast import FullMeshBus
+    from repro.bus.bus import GlobalMessageBus
+    from repro.dataplane.forwarder import DataPlane
+    from repro.simnet.network import SimNetwork
+
+
+def collect_network(registry: MetricsRegistry, net: "SimNetwork") -> None:
+    """Per-link delivery/drop/backlog gauges from ``LinkStats``."""
+    for (src, dst), state in net._links.items():
+        link = f"{src}->{dst}"
+        stats = state.stats
+        registry.gauge("link.sent_total", link=link).set(stats.sent)
+        registry.gauge("link.delivered_total", link=link).set(stats.delivered)
+        registry.gauge("link.dropped_total", link=link).set(stats.dropped)
+        registry.gauge("link.in_flight", link=link).set(stats.in_flight)
+        registry.gauge("link.bytes_sent_total", link=link).set(stats.bytes_sent)
+        registry.gauge("link.bytes_dropped_total", link=link).set(
+            stats.bytes_dropped
+        )
+        registry.gauge("link.queued_bytes", link=link).set(state.queued_bytes)
+
+
+def collect_bus(
+    registry: MetricsRegistry, bus: "GlobalMessageBus | FullMeshBus"
+) -> None:
+    """Topology-level pub/sub totals from ``BusStats``."""
+    stats = bus.stats
+    registry.gauge("bus.published_total").set(stats.published)
+    registry.gauge("bus.wan_messages_total").set(stats.wan_messages)
+    registry.gauge("bus.wan_drops_total").set(stats.wan_drops)
+    registry.gauge("bus.delivered_total").set(stats.delivered)
+    latency = registry.histogram("bus.collected_delivery_latency_s")
+    for delivery in stats.deliveries:
+        latency.observe(delivery.latency)
+
+
+def collect_dataplane(registry: MetricsRegistry, dataplane: "DataPlane") -> None:
+    """Per-forwarder flow-table and packet gauges."""
+    for name, fwd in dataplane.forwarders.items():
+        registry.gauge("forwarder.packets_forwarded_total", forwarder=name).set(
+            fwd.packets_forwarded
+        )
+        registry.gauge("forwarder.packets_dropped_total", forwarder=name).set(
+            fwd.packets_dropped
+        )
+        registry.gauge("forwarder.rules", forwarder=name).set(len(fwd.rules))
+        table = fwd.flow_table
+        registry.gauge("flowtable.entries", forwarder=name).set(len(table))
+        registry.gauge("flowtable.hits_total", forwarder=name).set(table.hits)
+        registry.gauge("flowtable.misses_total", forwarder=name).set(
+            table.misses
+        )
+        registry.gauge("flowtable.evictions_total", forwarder=name).set(
+            table.evictions
+        )

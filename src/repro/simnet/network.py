@@ -18,9 +18,12 @@ per *site*.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, TYPE_CHECKING
 
 from repro.simnet.events import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 
 class NetworkError(Exception):
@@ -33,6 +36,10 @@ class LinkSpec:
 
     ``bandwidth_bps`` of ``None`` means infinite (no serialization delay
     and no drops); ``buffer_bytes`` of ``None`` means an unbounded buffer.
+    A finite buffer requires a finite bandwidth: with instantaneous
+    serialization the transmit queue can never back up, so a buffer
+    limit on an infinite-bandwidth link would silently never drop --
+    that spec combination is rejected here instead.
     """
 
     delay_s: float
@@ -46,11 +53,25 @@ class LinkSpec:
             raise NetworkError(f"non-positive bandwidth {self.bandwidth_bps}")
         if self.buffer_bytes is not None and self.buffer_bytes <= 0:
             raise NetworkError(f"non-positive buffer {self.buffer_bytes}")
+        if self.buffer_bytes is not None and self.bandwidth_bps is None:
+            raise NetworkError(
+                "buffer_bytes requires a finite bandwidth_bps: an "
+                "infinite-bandwidth link never queues, so its buffer "
+                "limit could never drop anything"
+            )
 
 
 @dataclass
 class LinkStats:
-    """Counters accumulated by a directed link."""
+    """Counters accumulated by a directed link.
+
+    ``sent`` counts messages accepted onto the link (at send time);
+    ``delivered`` counts messages actually handed to the destination
+    host, incremented *when the delivery event fires*, so a message
+    still crossing the link when the simulator stops is in flight, not
+    delivered.  ``sent == delivered + dropped + in_flight`` holds at any
+    simulated time.
+    """
 
     sent: int = 0
     delivered: int = 0
@@ -58,6 +79,16 @@ class LinkStats:
     bytes_sent: int = 0
     bytes_delivered: int = 0
     bytes_dropped: int = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Messages accepted but not yet delivered (queued, serializing,
+        or propagating)."""
+        return self.sent - self.delivered - self.dropped
+
+    @property
+    def bytes_in_flight(self) -> int:
+        return self.bytes_sent - self.bytes_delivered - self.bytes_dropped
 
 
 @dataclass
@@ -68,6 +99,10 @@ class _LinkState:
     busy_until: float = 0.0
     # Bytes accepted but not yet fully serialized (the queue occupancy).
     queued_bytes: int = 0
+    # Cached per-link metric handles (queue-delay histogram, delivered
+    # and dropped counters), created lazily on first use so links on an
+    # un-instrumented network pay nothing.
+    obs: tuple | None = None
 
 
 class Host:
@@ -99,6 +134,20 @@ class Host:
         if self._receiver is not None:
             self._receiver(sender, payload)
 
+    def _deliver_from_link(
+        self, stats: "LinkStats", size_bytes: int, sender: str, payload: Any
+    ) -> None:
+        """Delivery event for un-instrumented networks: count the
+        message against its link *now* (not at send time), then deliver.
+        One call frame instead of two keeps the common metrics-off
+        configuration at seed-level speed; the instrumented twin is
+        :meth:`SimNetwork._complete_delivery`."""
+        stats.delivered += 1
+        stats.bytes_delivered += size_bytes
+        self.received.append((self.network.sim.now, sender, payload))
+        if self._receiver is not None:
+            self._receiver(sender, payload)
+
 
 class SimNetwork:
     """Hosts connected by directed links with delay, bandwidth, and buffers."""
@@ -107,11 +156,30 @@ class SimNetwork:
     #: exists: a fast local hop rather than a wide-area one.
     LOCAL_LINK = LinkSpec(delay_s=0.0002, bandwidth_bps=10e9)
 
-    def __init__(self, sim: Simulator | None = None):
+    def __init__(
+        self,
+        sim: Simulator | None = None,
+        metrics: "MetricsRegistry | None" = None,
+    ):
         self.sim = sim if sim is not None else Simulator()
         self._hosts: dict[str, Host] = {}
         self._links: dict[tuple[str, str], _LinkState] = {}
         self.default_link: LinkSpec | None = None
+        #: Optional observability sink; ``None`` keeps hot paths free.
+        self.metrics = metrics
+
+    def _link_obs(self, state: _LinkState, src: str, dst: str) -> tuple:
+        """Per-link metric handles, created once per link."""
+        if state.obs is None:
+            link = f"{src}->{dst}"
+            state.obs = (
+                self.metrics.histogram("link.queue_delay_s", link=link),
+                self.metrics.histogram("link.serialization_s", link=link),
+                self.metrics.counter("link.delivered", link=link),
+                self.metrics.counter("link.dropped", link=link),
+                self.metrics.counter("link.bytes_dropped", link=link),
+            )
+        return state.obs
 
     # -- construction -------------------------------------------------
 
@@ -178,7 +246,8 @@ class SimNetwork:
         """Send a message; returns False if it was dropped at the queue."""
         if src not in self._hosts:
             raise NetworkError(f"unknown host {src!r}")
-        if dst not in self._hosts:
+        dst_host = self._hosts.get(dst)
+        if dst_host is None:
             raise NetworkError(f"unknown host {dst!r}")
         if size_bytes <= 0:
             raise NetworkError(f"non-positive message size {size_bytes}")
@@ -192,11 +261,23 @@ class SimNetwork:
 
         now = self.sim.now
         if spec.bandwidth_bps is None:
-            self.sim.schedule(
-                spec.delay_s, self._hosts[dst]._deliver, src, payload
-            )
-            stats.delivered += 1
-            stats.bytes_delivered += size_bytes
+            # Infinite bandwidth: no queueing, no serialization, and (by
+            # LinkSpec validation) no buffer to overflow.
+            if self.metrics is None:
+                self.sim.schedule(
+                    spec.delay_s,
+                    dst_host._deliver_from_link, stats, size_bytes, src,
+                    payload,
+                )
+            else:
+                self.sim.schedule(
+                    spec.delay_s,
+                    self._complete_delivery, state, src, dst_host, payload,
+                    size_bytes,
+                )
+                q_hist, s_hist, *_ = self._link_obs(state, src, dst)
+                q_hist.observe(0.0)
+                s_hist.observe(0.0)
             return True
 
         if (
@@ -205,6 +286,10 @@ class SimNetwork:
         ):
             stats.dropped += 1
             stats.bytes_dropped += size_bytes
+            if self.metrics is not None:
+                obs = self._link_obs(state, src, dst)
+                obs[3].inc()
+                obs[4].inc(size_bytes)
             return False
 
         serialization = size_bytes * 8 / spec.bandwidth_bps
@@ -213,15 +298,43 @@ class SimNetwork:
         state.busy_until = done
         state.queued_bytes += size_bytes
         self.sim.schedule_at(done, self._drain, state, size_bytes)
-        self.sim.schedule_at(
-            done + spec.delay_s, self._hosts[dst]._deliver, src, payload
-        )
-        stats.delivered += 1
-        stats.bytes_delivered += size_bytes
+        if self.metrics is None:
+            self.sim.schedule_at(
+                done + spec.delay_s,
+                dst_host._deliver_from_link, stats, size_bytes, src, payload,
+            )
+        else:
+            self.sim.schedule_at(
+                done + spec.delay_s,
+                self._complete_delivery, state, src, dst_host, payload,
+                size_bytes,
+            )
+            q_hist, s_hist, *_ = self._link_obs(state, src, dst)
+            q_hist.observe(start - now)
+            s_hist.observe(serialization)
         return True
 
     def _drain(self, state: _LinkState, size_bytes: int) -> None:
         state.queued_bytes -= size_bytes
+
+    def _complete_delivery(
+        self,
+        state: _LinkState,
+        src: str,
+        dst_host: Host,
+        payload: Any,
+        size_bytes: int,
+    ) -> None:
+        """Delivery event: count the message delivered *now*, then hand
+        it to the destination host.  Counting here (rather than at send
+        time) keeps ``LinkStats.delivered`` honest when the simulator
+        stops with messages still in flight."""
+        stats = state.stats
+        stats.delivered += 1
+        stats.bytes_delivered += size_bytes
+        if self.metrics is not None:
+            self._link_obs(state, src, dst_host.name)[2].inc()
+        dst_host._deliver(src, payload)
 
     def run(self, until: float | None = None) -> None:
         """Convenience passthrough to the underlying simulator."""

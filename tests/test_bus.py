@@ -103,6 +103,59 @@ class TestProxyBus:
         bus.network.run()
         assert bus.stats.delivered == 0
 
+    def test_duplicate_subscribe_is_idempotent(self):
+        # Regression: subscribing twice used to register the client
+        # twice in the local fan-out list, double-delivering every
+        # message.
+        bus = build_proxy_bus()
+        bus.attach("pub", "S0")
+        bus.attach("sub", "S1")
+        bus.subscribe("sub", TOPIC)
+        bus.subscribe("sub", TOPIC)
+        bus.publish("pub", TOPIC, "m")
+        bus.network.run()
+        assert len(bus.clients["sub"].received) == 1
+        assert bus.stats.delivered == 1
+
+    def test_unsubscribe_after_duplicate_subscribe_stops_delivery(self):
+        bus = build_proxy_bus()
+        bus.attach("pub", "S0")
+        bus.attach("sub", "S1")
+        bus.subscribe("sub", TOPIC)
+        bus.subscribe("sub", TOPIC)
+        bus.unsubscribe("sub", TOPIC)
+        bus.publish("pub", TOPIC, "m")
+        bus.network.run()
+        assert bus.stats.delivered == 0
+
+    def test_last_unsubscribe_clears_publisher_site_filter(self):
+        # The publisher's proxy must stop sending WAN copies toward a
+        # site once its last subscriber leaves.
+        bus = build_proxy_bus()
+        bus.attach("pub", "S0")
+        bus.attach("sub1", "S1")
+        bus.attach("sub2", "S1")
+        bus.subscribe("sub1", TOPIC)
+        bus.subscribe("sub2", TOPIC)
+        bus.unsubscribe("sub1", TOPIC)
+        assert "S1" in bus._site_filters["S0"][str(TOPIC)]
+        bus.unsubscribe("sub2", TOPIC)
+        assert str(TOPIC) not in bus._site_filters["S0"]
+        bus.publish("pub", TOPIC, "m")
+        bus.network.run()
+        assert bus.stats.wan_messages == 0
+
+    def test_subscribe_round_trip_restores_delivery(self):
+        bus = build_proxy_bus()
+        bus.attach("pub", "S0")
+        bus.attach("sub", "S1")
+        bus.subscribe("sub", TOPIC)
+        bus.unsubscribe("sub", TOPIC)
+        bus.subscribe("sub", TOPIC)
+        bus.publish("pub", TOPIC, "m")
+        bus.network.run()
+        assert len(bus.clients["sub"].received) == 1
+
     def test_callback_invoked(self):
         bus = build_proxy_bus()
         bus.attach("pub", "S0")
@@ -194,6 +247,20 @@ class TestFullMeshComparison:
         assert proxy.wan_drops == 0
         assert mesh.wan_drops > 0
         assert proxy.delivered > mesh.delivered
+
+    def test_mesh_duplicate_subscribe_and_unsubscribe(self):
+        bus = make_full_mesh_bus(SITES, wan_delay_s=0.025, uplink_bps=8e6)
+        bus.attach("pub", "S0")
+        bus.attach("sub", "S1")
+        bus.subscribe("sub", TOPIC)
+        bus.subscribe("sub", TOPIC)
+        bus.publish("pub", TOPIC, "m")
+        bus.network.run()
+        assert bus.stats.delivered == 1
+        bus.unsubscribe("sub", TOPIC)
+        bus.publish("pub", TOPIC, "m2")
+        bus.network.run()
+        assert bus.stats.delivered == 1
 
     def test_mesh_delivers_everything_to_local_subscribers(self):
         bus = make_full_mesh_bus(SITES, wan_delay_s=0.025, uplink_bps=8e6)

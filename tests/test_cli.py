@@ -63,3 +63,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "chain route update: 594 ms total" in out
         assert "edge site addition: 567 ms" in out
+
+    def test_metrics(self, capsys):
+        assert main(["metrics", "--publishes", "100"]) == 0
+        out = capsys.readouterr().out
+        # The three headline sections of the acceptance criterion:
+        # queueing-delay histograms, WAN-drop counters, 2PC timings.
+        assert "link.queue_delay_s{link=proxy.A->wan.A}" in out
+        assert "bus.wan_drops" in out
+        assert "span.2pc.prepare{chain=corp}" in out
+        assert "span.2pc.commit{chain=corp}" in out
+
+    def test_metrics_json(self, capsys):
+        import json
+
+        assert main(["metrics", "--publishes", "50", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counters"]["install.completed"] == 1
+        assert any(k.startswith("span.2pc.") for k in data["histograms"])

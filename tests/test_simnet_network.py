@@ -28,6 +28,13 @@ class TestLinkSpec:
         with pytest.raises(NetworkError):
             LinkSpec(delay_s=0.0, bandwidth_bps=1e6, buffer_bytes=0)
 
+    def test_buffer_without_bandwidth_rejected(self):
+        # Regression: this combination used to be accepted silently and
+        # the buffer limit then never dropped anything (the overflow
+        # check only ran on the finite-bandwidth branch).
+        with pytest.raises(NetworkError):
+            LinkSpec(delay_s=0.01, buffer_bytes=1000)
+
 
 class TestDelivery:
     def test_propagation_delay(self):
@@ -95,6 +102,42 @@ class TestBufferDrops:
         assert stats.delivered == 1
         assert stats.dropped == 3
         assert stats.bytes_dropped == 3000
+
+    def test_delivered_counts_at_delivery_time(self):
+        # Regression: ``delivered`` used to be incremented at enqueue
+        # time, so a mid-flight snapshot claimed messages were delivered
+        # while they were still propagating.
+        net, arrivals = make_pair(LinkSpec(delay_s=0.1))
+        net.send("a", "b", "m", 100)
+        net.run(until=0.05)
+        stats = net.link_stats("a", "b")
+        assert stats.sent == 1
+        assert stats.delivered == 0
+        assert stats.bytes_delivered == 0
+        assert stats.in_flight == 1
+        assert not arrivals
+        net.run()
+        assert stats.delivered == 1
+        assert stats.bytes_delivered == 100
+        assert stats.in_flight == 0
+
+    def test_accounting_invariant_under_congestion(self):
+        # sent == delivered + dropped + in_flight at *any* stop time.
+        spec = LinkSpec(delay_s=0.01, bandwidth_bps=8e6, buffer_bytes=2500)
+        net, _ = make_pair(spec)
+        for i in range(6):
+            net.send("a", "b", i, 1000)
+        stats = net.link_stats("a", "b")
+        for until in (0.0005, 0.0015, 0.011, 0.02, None):
+            net.run(until=until)
+            assert stats.sent == 6
+            assert (
+                stats.delivered + stats.dropped + stats.in_flight == stats.sent
+            )
+        assert stats.in_flight == 0
+        # Buffer fits the serializing message plus one queued (2000 <=
+        # 2500 < 3000), so two of six survive.
+        assert stats.dropped == 4
 
     def test_buffer_frees_after_serialization(self):
         spec = LinkSpec(delay_s=0.0, bandwidth_bps=8e6, buffer_bytes=1000)
