@@ -8,6 +8,7 @@ Usage::
     python -m repro bus [--rate HZ] [--sites N]
     python -m repro timing
     python -m repro metrics [--publishes N] [--rate HZ] [--json]
+    python -m repro scale [--chains N] [--partition-size K] [--workers W]
 """
 
 from __future__ import annotations
@@ -27,7 +28,7 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     print(f"PoPs           : {len(backbone.nodes)}")
     print(f"directed links : {len(backbone.links)}")
     print(f"one-way delay  : {min(lat):.1f} - {max(lat):.1f} ms")
-    tiers = sorted({l.bandwidth for l in backbone.links})
+    tiers = sorted({link.bandwidth for link in backbone.links})
     print(f"link tiers     : {', '.join(f'{t:g}' for t in tiers)} Gbps")
     degrees = dict(backbone.graph.degree())
     hub = max(degrees, key=degrees.get)
@@ -294,6 +295,88 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    """Monolithic vs. solver-farm comparison on one workload.
+
+    Three farm passes against one monolithic baseline: a cold solve
+    (every partition a cache miss), a warm re-solve (every partition a
+    hit), and an incremental ``resolve`` after scaling one chain's
+    demand (only that chain's partition re-solves).
+    """
+    from repro.core.lp import LpObjective, solve_chain_routing_lp
+    from repro.obs import MetricsRegistry
+    from repro.scale import SolverFarm, optimality_gap
+    from repro.topology import WorkloadConfig, build_backbone, generate_workload
+    from repro.topology.cities import DEFAULT_CITIES
+
+    cities = DEFAULT_CITIES[: args.cities]
+    config = WorkloadConfig(
+        num_chains=args.chains,
+        num_vnfs=args.vnfs,
+        coverage=args.coverage,
+        total_traffic=args.traffic,
+        site_capacity=args.site_capacity,
+        cities=cities,
+        seed=args.seed,
+    )
+    model = generate_workload(config, build_backbone(cities))
+    print(
+        f"workload: {len(model.chains)} chains, "
+        f"{model.total_demand():.0f} units offered"
+    )
+
+    start = time.perf_counter()
+    mono = solve_chain_routing_lp(model, LpObjective.MAX_THROUGHPUT)
+    mono_s = time.perf_counter() - start
+    if not mono.ok:
+        print(f"monolithic solve failed: {mono.status}", file=sys.stderr)
+        return 1
+
+    registry = MetricsRegistry()
+    farm = SolverFarm(
+        partition_size=args.partition_size,
+        max_workers=args.workers,
+        metrics=registry,
+    )
+
+    def row(name: str, result, seconds: float) -> None:
+        thr = result.solution.throughput() if result.solution else 0.0
+        extra = ""
+        if hasattr(result, "cache_hits"):
+            extra = (
+                f"  solved {len(result.solved)}/{result.partitions}"
+                f"  hits {result.cache_hits}"
+                f"  gap {optimality_gap(result, mono):.1%}"
+                f"  speedup {mono_s / seconds:.1f}x"
+            )
+        print(f"{name:<12} {seconds:7.2f}s  carried {thr:8.1f}{extra}")
+
+    row("monolithic", mono, mono_s)
+    start = time.perf_counter()
+    cold = farm.solve(model)
+    row("farm cold", cold, time.perf_counter() - start)
+    start = time.perf_counter()
+    warm = farm.solve(model)
+    row("farm warm", warm, time.perf_counter() - start)
+
+    # Scale one chain's demand and re-solve incrementally.
+    changed = sorted(model.chains)[0]
+    chain = model.chains[changed]
+    model.remove_chain(changed)
+    model.add_chain(chain.scaled(1.5))
+    start = time.perf_counter()
+    incr = farm.resolve(model, [changed])
+    row("incremental", incr, time.perf_counter() - start)
+
+    stats = farm.cache.stats
+    print(
+        f"cache: {stats.hits} hits, {stats.misses} misses, "
+        f"{stats.evictions} evictions ({stats.hit_rate:.0%} hit rate); "
+        f"exact plan: {cold.exact}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -347,6 +430,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buffer-bytes", type=int, default=64_000)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "scale", help="monolithic vs. solver-farm TE solve comparison"
+    )
+    p.add_argument("--chains", type=int, default=64)
+    p.add_argument("--vnfs", type=int, default=10)
+    p.add_argument("--coverage", type=float, default=0.5)
+    p.add_argument("--traffic", type=float, default=6000.0)
+    p.add_argument("--site-capacity", type=float, default=20000.0)
+    p.add_argument("--cities", type=int, default=14)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--partition-size", type=int, default=16)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width (1 = serial; decomposition alone "
+        "already beats the monolithic solve)",
+    )
+    p.set_defaults(func=_cmd_scale)
     return parser
 
 

@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.registry import MetricsRegistry
 
 from repro.core.dp import DpConfig, IncrementalDpRouter
+from repro.core.lp import LpObjective, solve_chain_routing_lp
 from repro.core.model import Chain, NetworkModel
 from repro.dataplane.forwarder import DataPlane
 from repro.dataplane.labels import LabelAllocator, Labels
@@ -76,10 +77,15 @@ class GlobalSwitchboard:
         dataplane: DataPlane,
         dp_config: DpConfig | None = None,
         metrics: "MetricsRegistry | None" = None,
+        solver=None,
     ):
         self.model = model
         self.dataplane = dataplane
         self.metrics = metrics
+        #: Optional TE-solve strategy (``repro.scale.SolverFarm`` or
+        #: ``repro.scale.MonolithicSolver``).  ``None`` keeps the
+        #: original direct-LP behaviour of :meth:`plan_routes`.
+        self.solver = solver
         self.router = IncrementalDpRouter(model, dp_config)
         self.labels = LabelAllocator()
         self.locals: dict[str, LocalSwitchboard] = {}
@@ -117,6 +123,26 @@ class GlobalSwitchboard:
         if self.metrics is None:
             return contextlib.nullcontext()
         return self.metrics.span(name, **labels)
+
+    def plan_routes(
+        self, objective: LpObjective = LpObjective.MAX_THROUGHPUT
+    ):
+        """Whole-network TE plan (SB-LP) for the current model.
+
+        Dispatches to the configured ``solver=`` strategy when one was
+        attached -- a :class:`repro.scale.SolverFarm` partitions, caches
+        and parallelizes the solve -- and otherwise calls
+        :func:`repro.core.lp.solve_chain_routing_lp` directly, which is
+        bit-for-bit the pre-farm behaviour.  Returns an
+        ``LpResult``-shaped object either way (``status`` /
+        ``objective`` / ``solution`` / ``ok``).
+        """
+        with self._span("controller.plan_routes"):
+            if self.solver is not None:
+                return self.solver.solve(self.model, objective)
+            return solve_chain_routing_lp(
+                self.model, objective, metrics=self.metrics
+            )
 
     def create_chain(self, spec: ChainSpecification) -> ChainInstallation:
         """Install a chain end to end (the Figure 4 flow)."""
@@ -293,10 +319,10 @@ class GlobalSwitchboard:
             # A VNF controller rejected: reconcile its reported capacity,
             # roll the route back, and recompute (Section 3 step 2).
             vnf_name, site = rejection
+            service = self.vnf_services[vnf_name]
             if self.metrics is not None:
                 self.metrics.counter("2pc.rejections", chain=chain_name).inc()
             self.router.rollback(chain_name)
-            service = self.vnf_services[vnf_name]
             self.router.sync_vnf_capacity(vnf_name, site, service.available(site))
         raise InstallationError(
             f"chain {chain_name!r}: two-phase commit failed after "
@@ -532,7 +558,6 @@ class GlobalSwitchboard:
         # forwarder fronting that VNF's instances at the site.
         for position in range(1, chain.num_stages):
             vnf_name = chain.vnf_at(position)
-            service = self.vnf_services[vnf_name]
             arriving: dict[str, float] = defaultdict(float)
             for (_src, dst), frac in solution.stage_flows(
                 chain_name, position

@@ -85,7 +85,7 @@ class Portal:
         """Validate and install a chain; returns its status message."""
         self._validate(spec)
         try:
-            installation = self.gs.create_chain(spec)
+            self.gs.create_chain(spec)
         except InstallationError as exc:
             return ChainStatus(
                 spec.name,

@@ -9,11 +9,19 @@ recompute routes where the demand moved materially.
 Semantics follow Section 5.3: recomputation only changes where *new*
 connections go; existing flow-table entries at the forwarders are never
 touched.
+
+When the Global Switchboard has a ``solver`` strategy attached (see
+``GlobalSwitchboard(solver=...)`` and :mod:`repro.scale`), each round
+also produces an advisory whole-network TE plan via the solver's
+incremental ``resolve`` path -- with a ``SolverFarm`` only the
+partitions containing changed chains are re-solved, the rest come from
+the solution cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.controller.global_switchboard import GlobalSwitchboard
 
@@ -26,9 +34,16 @@ class ReoptimizationReport:
 
     rerouted: list[str] = field(default_factory=list)
     skipped: list[str] = field(default_factory=list)
+    #: Chains that disappeared mid-round (torn down while this round was
+    #: releasing/re-routing) and were therefore left alone.
+    vanished: list[str] = field(default_factory=list)
     carried_before: float = 0.0
     carried_after: float = 0.0
     offered_after: float = 0.0
+    #: Advisory whole-network TE plan from the attached solver strategy
+    #: (``LpResult`` / ``FarmResult`` shaped), or ``None`` when the
+    #: Global Switchboard has no solver or nothing changed.
+    plan: Any = None
 
     @property
     def carried_share(self) -> float:
@@ -53,12 +68,25 @@ def reoptimize(
     afresh against the residual capacity, largest demand first so the
     heavy hitters get first pick, then committed through the usual
     two-phase protocol.
+
+    The installation set is snapshotted once at entry.  Re-routing runs
+    controller callbacks (2PC, rule installs) that can remove *other*
+    chains from ``gs.installations`` mid-round -- an operator tearing a
+    chain down between bus messages, or an admission policy evicting on
+    rejection -- so every later step re-checks membership against the
+    live dict instead of indexing it blindly; chains that vanished are
+    reported in :attr:`ReoptimizationReport.vanished`.
     """
     report = ReoptimizationReport()
-    for name in gs.installations:
+    # Snapshot: keys and per-chain demand as of round start.  The live
+    # dict and model mutate underneath the loops below.
+    installed = list(gs.installations)
+    demand_at_start = {
+        name: gs.model.chains[name].stage_traffic(1) for name in installed
+    }
+    for name in installed:
         report.carried_before += (
-            gs.router.solution.routed_fraction(name)
-            * gs.model.chains[name].stage_traffic(1)
+            gs.router.solution.routed_fraction(name) * demand_at_start[name]
         )
 
     changed: list[str] = []
@@ -75,7 +103,9 @@ def reoptimize(
     # Release every changed chain first so the recomputation sees the
     # full freed capacity, then re-route in descending demand order.
     for name in changed:
-        installation = gs.installations[name]
+        installation = gs.installations.get(name)
+        if installation is None:
+            continue
         for (vnf_name, site), load in list(installation.committed_load.items()):
             gs.vnf_services[vnf_name].release(name, site, load)
         installation.committed_load = {}
@@ -84,11 +114,26 @@ def reoptimize(
         gs.model.remove_chain(name)
         gs.model.add_chain(old_chain.scaled(demand_factors[name]))
 
+    if changed and gs.solver is not None:
+        # Incremental TE plan against the re-scaled demands: a
+        # SolverFarm re-solves only the partitions whose chains moved.
+        report.plan = gs.solver.resolve(
+            gs.model, [n for n in changed if n in gs.model.chains]
+        )
+
     changed.sort(
-        key=lambda n: gs.model.chains[n].stage_traffic(1), reverse=True
+        key=lambda n: (
+            gs.model.chains[n].stage_traffic(1)
+            if n in gs.model.chains
+            else 0.0
+        ),
+        reverse=True,
     )
     for name in changed:
-        installation = gs.installations[name]
+        installation = gs.installations.get(name)
+        if installation is None or name not in gs.model.chains:
+            report.vanished.append(name)
+            continue
         try:
             routed, committed = gs._route_and_commit(name)
         except Exception:
@@ -100,7 +145,9 @@ def reoptimize(
             gs._install_rules(installation)
         report.rerouted.append(name)
 
-    for name in gs.installations:
+    for name in list(gs.installations):
+        if name not in gs.model.chains:
+            continue
         demand = gs.model.chains[name].stage_traffic(1)
         report.offered_after += demand
         report.carried_after += (

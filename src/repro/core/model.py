@@ -20,6 +20,8 @@ where node 0 is the ingress and node ``|F_c| + 1`` is the egress.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
@@ -373,6 +375,67 @@ class NetworkModel:
     def link_headroom(self, link: Link) -> float:
         """Capacity available to Switchboard on a link under the MLU budget."""
         return max(0.0, self.mlu_limit * link.bandwidth - link.background)
+
+    # -- identity ---------------------------------------------------------
+
+    def digest(self, chains: Iterable[str] | None = None) -> str:
+        """A stable content hash of the model (hex SHA-256).
+
+        The digest covers everything the traffic-engineering algorithms
+        read: nodes, latencies, sites, VNF catalog and deployments,
+        links, routing fractions, the MLU budget, and every chain with
+        its per-stage demands.  Two models built independently from the
+        same parameters produce the same digest, regardless of insertion
+        order, so the digest is usable as a solver-cache key and for
+        snapshot tests across serialization round-trips.
+
+        ``chains`` optionally restricts the chain portion of the digest
+        to a subset (unknown names raise :class:`ModelError`); the
+        substrate portion is always included.  This is how the solver
+        farm keys partition results without copying the model.
+        """
+        if chains is None:
+            chain_names = sorted(self.chains)
+        else:
+            chain_names = sorted(set(chains))
+            unknown = [n for n in chain_names if n not in self.chains]
+            if unknown:
+                raise ModelError(f"digest over unknown chains: {unknown}")
+        document = {
+            "nodes": sorted(self.nodes),
+            "latency": sorted(
+                (n1, n2, d) for (n1, n2), d in self._latency.items()
+            ),
+            "sites": sorted(
+                (s.name, s.node, s.capacity) for s in self.sites.values()
+            ),
+            "vnfs": sorted(
+                (v.name, v.load_per_unit, sorted(v.site_capacity.items()))
+                for v in self.vnfs.values()
+            ),
+            "links": sorted(
+                (link.name, link.src, link.dst, link.bandwidth, link.background)
+                for link in self.links.values()
+            ),
+            "routing": sorted(
+                (n1, n2, sorted(fractions.items()))
+                for (n1, n2), fractions in self.routing.items()
+            ),
+            "mlu_limit": self.mlu_limit,
+            "chains": [
+                (
+                    c.name,
+                    c.ingress,
+                    c.egress,
+                    list(c.vnfs),
+                    list(c.forward_traffic),
+                    list(c.reverse_traffic),
+                )
+                for c in (self.chains[n] for n in chain_names)
+            ],
+        }
+        payload = json.dumps(document, separators=(",", ":"), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
 
     # -- aggregate views --------------------------------------------------
 

@@ -64,13 +64,13 @@ def model_to_dict(model: NetworkModel) -> dict[str, Any]:
         ],
         "links": [
             {
-                "name": l.name,
-                "src": l.src,
-                "dst": l.dst,
-                "bandwidth": l.bandwidth,
-                "background": l.background,
+                "name": link.name,
+                "src": link.src,
+                "dst": link.dst,
+                "bandwidth": link.bandwidth,
+                "background": link.background,
             }
-            for l in model.links.values()
+            for link in model.links.values()
         ],
         "routing": [
             {"from": n1, "to": n2, "fractions": dict(fractions)}
@@ -118,10 +118,10 @@ def model_from_dict(document: dict[str, Any]) -> NetworkModel:
         ]
         links = [
             Link(
-                l["name"], l["src"], l["dst"],
-                float(l["bandwidth"]), float(l.get("background", 0.0)),
+                link["name"], link["src"], link["dst"],
+                float(link["bandwidth"]), float(link.get("background", 0.0)),
             )
-            for l in document.get("links", [])
+            for link in document.get("links", [])
         ]
         routing = {
             (entry["from"], entry["to"]): {

@@ -1,0 +1,90 @@
+"""LRU cache of partition solve results, keyed by model digests.
+
+Cache keys are built from :meth:`repro.core.model.NetworkModel.digest`
+of the exact sub-model handed to the solver plus the solve options, so a
+hit is only possible when topology, capacities (including the
+partitioner's proportional shares), chain set, per-stage demands, and
+objective are all bit-identical.  That makes the cache safe to share
+across solver-farm instances and across re-optimization rounds: a
+partition whose chains' demand did not move hashes to the same key and
+is served without a solve.
+
+Hit/miss/eviction counts are reported both locally (:class:`CacheStats`)
+and, when a registry is attached, as ``scale.cache.*`` counters in
+:mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
+    from repro.scale.farm import SolveResult
+
+
+@dataclass
+class CacheStats:
+    """Local counters mirroring the ``scale.cache.*`` metrics."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SolutionCache:
+    """A bounded LRU of :class:`~repro.scale.farm.SolveResult` objects."""
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.metrics = metrics
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, SolveResult]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> "SolveResult | None":
+        result = self._entries.get(key)
+        if result is None:
+            self.stats.misses += 1
+            if self.metrics is not None:
+                self.metrics.counter("scale.cache.misses").inc()
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        if self.metrics is not None:
+            self.metrics.counter("scale.cache.hits").inc()
+        return result
+
+    def put(self, key: str, result: "SolveResult") -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = result
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            if self.metrics is not None:
+                self.metrics.counter("scale.cache.evictions").inc()
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+__all__ = ["CacheStats", "SolutionCache"]

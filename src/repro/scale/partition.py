@@ -1,0 +1,487 @@
+"""Chain-set partitioning for the solver farm.
+
+The monolithic SB-LP routes every chain jointly, which is what makes it
+optimal -- and what makes its solve time grow superlinearly with the
+chain count (Section 7 of the paper; the authors report CPLEX runs of up
+to three hours at 10 000 chains).  This module splits a
+:class:`~repro.core.model.NetworkModel`'s chain set into *partitions*
+that can be solved as independent, much smaller programs:
+
+1. Chains are grouped by **resource coupling**: two chains belong to the
+   same coupling group when they can load the same (VNF, site) capacity,
+   the same site capacity, or the same physical link.  Distinct coupling
+   groups share no constraint of the LP, so solving them separately and
+   merging the results is *exactly* equivalent to the monolithic solve
+   (the merged program's constraint matrix is block-diagonal).
+
+2. A coupling group larger than ``max_chains`` is split further, and
+   each shared resource's budget (compute capacity, link headroom) is
+   divided among the subgroups **proportionally to the demand** each
+   subgroup can place on it.  The merged solution is always feasible for
+   the original program -- per-resource shares sum to the original
+   capacity -- but may be suboptimal, because a subgroup cannot borrow
+   capacity another subgroup leaves idle.
+
+Optimality-gap contract (documented, checked by
+``tests/test_scale_properties.py`` and
+``benchmarks/bench_scale_solver_farm.py``):
+
+- ``PartitionPlan.exact`` is ``True`` when no coupling group was split;
+  the merged objective then equals the monolithic objective (up to LP
+  tolerance).
+- When groups are split, the gap is workload-dependent.  With capacity
+  headroom >= the demand imbalance between subgroups the gap is near
+  zero; :data:`DEFAULT_GAP_TOLERANCE` (15% relative) is the bound the
+  benchmarks assert on the paper-style workloads.  Tightly coupled link
+  budgets (many chains contending for one bottleneck link) are the case
+  where proportional splitting is *not* close to optimal -- prefer
+  larger ``max_chains`` or the monolithic solver there (see
+  "Scaling the controller" in README.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.model import Chain, CloudSite, Link, NetworkModel, VNF
+
+#: Relative objective gap the split-partition farm is expected to stay
+#: within on the benchmark workloads (see module docstring).
+DEFAULT_GAP_TOLERANCE = 0.15
+
+#: Links keep at least this fraction of their bandwidth in a sub-model so
+#: the :class:`~repro.core.model.Link` validation (bandwidth > 0) holds
+#: even for a subgroup whose demand share of the link rounds to zero.
+_MIN_LINK_SHARE = 1e-9
+
+ResourceKey = tuple  # ("site", s) | ("vnf", f, s) | ("link", name)
+
+
+class PartitionError(Exception):
+    """Raised on malformed partitioning requests."""
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One independently solvable slice of the chain set."""
+
+    index: int
+    chains: tuple[str, ...]
+    #: True when the partition is a full coupling group solved against
+    #: unscaled capacities (its slice of the program is exact).
+    exact: bool
+
+
+class PartitionPlan:
+    """A partitioning of one model's chains, reusable across demands.
+
+    The plan is purely *structural*: membership and capacity shares are
+    fixed when the plan is built, so later demand changes (the
+    re-optimization path) leave unchanged partitions bit-identical --
+    which is what lets the solution cache serve them without re-solving.
+    """
+
+    def __init__(
+        self,
+        partitions: list[Partition],
+        shares: dict[int, dict[ResourceKey, float]],
+        structure: dict[str, tuple],
+    ):
+        self.partitions = partitions
+        self._shares = shares
+        self._structure = structure
+        self.chain_partition: dict[str, int] = {}
+        for part in partitions:
+            for name in part.chains:
+                self.chain_partition[name] = part.index
+
+    @property
+    def exact(self) -> bool:
+        """True when every partition is a full coupling group."""
+        return all(p.exact for p in self.partitions)
+
+    def compatible_with(self, model: NetworkModel) -> bool:
+        """Whether the plan still describes ``model``'s chain set.
+
+        Demands may differ (that is the point of reuse); names, chain
+        structure (ingress/egress/VNF list), and the substrate identity
+        captured at build time must match.
+        """
+        if set(model.chains) != set(self._structure):
+            return False
+        return all(
+            _chain_structure(model.chains[name]) == struct
+            for name, struct in self._structure.items()
+        )
+
+    def partitions_for(self, chains: Iterable[str]) -> set[int]:
+        """Indices of the partitions containing any of ``chains``."""
+        indices = set()
+        for name in chains:
+            index = self.chain_partition.get(name)
+            if index is None:
+                raise PartitionError(f"chain {name!r} is not in the plan")
+            indices.add(index)
+        return indices
+
+    def share(self, index: int, resource: ResourceKey) -> float:
+        """Partition ``index``'s budget share of ``resource`` (1.0 when
+        the resource is not contended across split subgroups)."""
+        return self._shares.get(index, {}).get(resource, 1.0)
+
+    def submodel(self, model: NetworkModel, index: int) -> NetworkModel:
+        """Build partition ``index``'s solve model from current demands.
+
+        Exact partitions reuse the full substrate; split partitions get
+        capacities and link budgets scaled by their stored shares.
+        """
+        part = self.partitions[index]
+        chains = [model.chains[name] for name in part.chains]
+        shares = self._shares.get(index)
+        if not shares:
+            return model.copy_with_chains(chains)
+
+        vnfs = []
+        for vnf in model.vnfs.values():
+            scaled = {
+                site: cap * shares.get(("vnf", vnf.name, site), 1.0)
+                for site, cap in vnf.site_capacity.items()
+            }
+            vnfs.append(VNF(vnf.name, vnf.load_per_unit, scaled))
+        sites = [
+            CloudSite(
+                s.name, s.node, s.capacity * shares.get(("site", s.name), 1.0)
+            )
+            for s in model.sites.values()
+        ]
+        links = []
+        for link in model.links.values():
+            share = max(
+                shares.get(("link", link.name), 1.0), _MIN_LINK_SHARE
+            )
+            links.append(
+                Link(
+                    link.name,
+                    link.src,
+                    link.dst,
+                    link.bandwidth * share,
+                    link.background * share,
+                )
+            )
+        return NetworkModel(
+            nodes=model.nodes,
+            latency=model._latency,
+            sites=sites,
+            vnfs=vnfs,
+            chains=chains,
+            links=links,
+            routing=model.routing,
+            mlu_limit=model.mlu_limit,
+        )
+
+
+def _chain_structure(chain: Chain) -> tuple:
+    """The demand-independent identity of a chain."""
+    return (chain.ingress, chain.egress, chain.vnfs)
+
+
+def chain_resources(model: NetworkModel, chain: Chain) -> set[ResourceKey]:
+    """Every capacity resource the chain's LP variables can touch."""
+    resources: set[ResourceKey] = set()
+    for z in range(1, chain.num_stages + 1):
+        if z < chain.num_stages:
+            for site in model.stage_destinations(chain, z):
+                resources.add(("vnf", chain.vnf_at(z), site))
+                resources.add(("site", site))
+        if not model.routing:
+            continue
+        fwd = chain.forward_traffic[z - 1]
+        rev = chain.reverse_traffic[z - 1]
+        if fwd <= 0 and rev <= 0:
+            continue
+        for src in model.stage_sources(chain, z):
+            n1 = model.endpoint_node(src)
+            for dst in model.stage_destinations(chain, z):
+                n2 = model.endpoint_node(dst)
+                if fwd > 0:
+                    for name in model.links_between(n1, n2):
+                        resources.add(("link", name))
+                if rev > 0:
+                    for name in model.links_between(n2, n1):
+                        resources.add(("link", name))
+    return resources
+
+
+#: Fraction of a chain's stage traffic spread uniformly over every link
+#: it *could* use, on top of the full weight placed on its predicted
+#: usage.  Keeps overflow links available to the subgroup without
+#: diluting the bottleneck-link shares that matter.
+_LINK_OVERFLOW_WEIGHT = 0.1
+
+
+def _dp_link_usage(model: NetworkModel) -> dict[str, dict[ResourceKey, float]]:
+    """Per-chain link traffic of a fast SB-DP pre-route.
+
+    The best proportional link shares are the shares of the *optimal*
+    solution's link usage (a partition can then always reproduce its
+    slice of the monolithic routing).  The SB-DP heuristic approximates
+    that equilibrium at a tiny fraction of the LP's cost, so its
+    per-chain link traffic is the default weighting for split link
+    budgets.  Chains SB-DP leaves (partially) unrouted keep whatever
+    usage their routed fraction generates; the latency-path weights in
+    :func:`_chain_resource_weights` fill in for fully unrouted chains.
+    """
+    from repro.core.dp import DpConfig, route_chains_dp
+
+    solution = route_chains_dp(
+        model, DpConfig(max_paths_per_chain=8)
+    ).solution
+    usage: dict[str, dict[ResourceKey, float]] = {}
+    for name, chain in model.chains.items():
+        per_chain: dict[ResourceKey, float] = {}
+        for z in range(1, chain.num_stages + 1):
+            for (src, dst), frac in solution.stage_flows(name, z).items():
+                n1 = model.endpoint_node(src)
+                n2 = model.endpoint_node(dst)
+                fwd = chain.forward_traffic[z - 1] * frac
+                rev = chain.reverse_traffic[z - 1] * frac
+                if fwd > 0:
+                    for link, f in model.links_between(n1, n2).items():
+                        key = ("link", link)
+                        per_chain[key] = per_chain.get(key, 0.0) + fwd * f
+                if rev > 0:
+                    for link, f in model.links_between(n2, n1).items():
+                        key = ("link", link)
+                        per_chain[key] = per_chain.get(key, 0.0) + rev * f
+        usage[name] = per_chain
+    return usage
+
+
+def _latency_path(model: NetworkModel, chain: Chain) -> list[str]:
+    """The chain's minimum-latency site sequence, capacities ignored.
+
+    A tiny Equation 8 DP over propagation delay only; used to predict
+    which links a chain will actually load so the partitioner's
+    proportional link shares concentrate where the traffic goes (a
+    uniform could-touch weighting starves bottleneck links badly).
+    """
+    prev_cost: dict[str, float] = {chain.ingress: 0.0}
+    parents: list[dict[str, str]] = []
+    for z in range(1, chain.num_stages + 1):
+        cost: dict[str, float] = {}
+        parent: dict[str, str] = {}
+        for dst in model.stage_destinations(chain, z):
+            best, best_src = float("inf"), None
+            for src, base in prev_cost.items():
+                step = base + model.site_latency(src, dst)
+                if step < best:
+                    best, best_src = step, src
+            if best_src is not None:
+                cost[dst] = best
+                parent[dst] = best_src
+        parents.append(parent)
+        prev_cost = cost
+    path = [chain.egress]
+    current = chain.egress
+    for parent in reversed(parents):
+        current = parent[current]
+        path.append(current)
+    path.reverse()
+    return path
+
+
+def _chain_resource_weights(
+    model: NetworkModel,
+    chain: Chain,
+    link_usage: Mapping[ResourceKey, float] | None = None,
+) -> dict[ResourceKey, float]:
+    """Demand each chain can place on a resource (the proportional-split
+    weights).
+
+    Compute weights mirror Equation 4's load accounting, spread over
+    every deployment site (the LP is free to use any of them, and a
+    uniform per-site ratio keeps each subgroup's total capacity for a
+    VNF proportional to its demand).  Link weights come from the SB-DP
+    pre-route (``link_usage``), falling back to the chain's latency-best
+    path when the pre-route carried nothing for it; every other link
+    the chain could use gets a small uniform share
+    (:data:`_LINK_OVERFLOW_WEIGHT`) so overflow routing stays possible.
+    """
+    weights: dict[ResourceKey, float] = {}
+    if link_usage:
+        weights.update(link_usage)
+        path = None
+    else:
+        path = _latency_path(model, chain) if model.routing else None
+    for z in range(1, chain.num_stages + 1):
+        if z < chain.num_stages:
+            vnf_name = chain.vnf_at(z)
+            load = model.vnfs[vnf_name].load_per_unit * (
+                chain.stage_traffic(z) + chain.stage_traffic(z + 1)
+            )
+            for site in model.stage_destinations(chain, z):
+                key = ("vnf", vnf_name, site)
+                weights[key] = weights.get(key, 0.0) + load
+                skey = ("site", site)
+                weights[skey] = weights.get(skey, 0.0) + load
+        if not model.routing:
+            continue
+        fwd = chain.forward_traffic[z - 1]
+        rev = chain.reverse_traffic[z - 1]
+        if fwd <= 0 and rev <= 0:
+            continue
+        if path is not None:
+            n1 = model.endpoint_node(path[z - 1])
+            n2 = model.endpoint_node(path[z])
+            if fwd > 0:
+                for name, f in model.links_between(n1, n2).items():
+                    key = ("link", name)
+                    weights[key] = weights.get(key, 0.0) + fwd * f
+            if rev > 0:
+                for name, f in model.links_between(n2, n1).items():
+                    key = ("link", name)
+                    weights[key] = weights.get(key, 0.0) + rev * f
+        overflow: set[ResourceKey] = set()
+        for src in model.stage_sources(chain, z):
+            a = model.endpoint_node(src)
+            for dst in model.stage_destinations(chain, z):
+                b = model.endpoint_node(dst)
+                if fwd > 0:
+                    overflow.update(
+                        ("link", n) for n in model.links_between(a, b)
+                    )
+                if rev > 0:
+                    overflow.update(
+                        ("link", n) for n in model.links_between(b, a)
+                    )
+        for key in overflow:
+            if weights.get(key, 0.0) <= 0.0:
+                weights[key] = weights.get(key, 0.0) + (
+                    _LINK_OVERFLOW_WEIGHT * (fwd + rev)
+                )
+    return weights
+
+
+class _UnionFind:
+    def __init__(self, items: Iterable[str]):
+        self.parent = {item: item for item in items}
+
+    def find(self, item: str) -> str:
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def coupling_groups(model: NetworkModel) -> list[list[str]]:
+    """Chains grouped by shared resources, deterministically ordered."""
+    uf = _UnionFind(model.chains)
+    owner: dict[ResourceKey, str] = {}
+    for name, chain in model.chains.items():
+        for resource in chain_resources(model, chain):
+            first = owner.setdefault(resource, name)
+            if first != name:
+                uf.union(first, name)
+    groups: dict[str, list[str]] = {}
+    for name in model.chains:
+        groups.setdefault(uf.find(name), []).append(name)
+    ordered = [sorted(members) for members in groups.values()]
+    ordered.sort(key=lambda members: members[0])
+    return ordered
+
+
+def partition_chains(
+    model: NetworkModel, max_chains: int | None = 16
+) -> PartitionPlan:
+    """Partition the model's chains for independent solving.
+
+    ``max_chains`` caps the partition size; ``None`` keeps every
+    coupling group whole (always exact, but a fully coupled workload
+    then degenerates to the monolithic solve).
+    """
+    if not model.chains:
+        raise PartitionError("model has no chains to partition")
+    if max_chains is not None and max_chains < 1:
+        raise PartitionError("max_chains must be positive")
+
+    groups = coupling_groups(model)
+    needs_split = max_chains is not None and any(
+        len(group) > max_chains for group in groups
+    )
+    weights: dict[str, dict[ResourceKey, float]] = {}
+    if needs_split:
+        # Splitting divides shared budgets, so the quality of the split
+        # hinges on predicting where each chain's traffic really lands.
+        # Amortize one fast SB-DP pre-route into the plan build and use
+        # its per-chain link usage as the proportional-split weights.
+        usage = _dp_link_usage(model) if model.routing else {}
+        weights = {
+            name: _chain_resource_weights(model, chain, usage.get(name))
+            for name, chain in model.chains.items()
+        }
+
+    partitions: list[Partition] = []
+    shares: dict[int, dict[ResourceKey, float]] = {}
+    structure = {
+        name: _chain_structure(chain) for name, chain in model.chains.items()
+    }
+    for group in groups:
+        if max_chains is None or len(group) <= max_chains:
+            partitions.append(
+                Partition(len(partitions), tuple(group), exact=True)
+            )
+            continue
+        # Split into balanced, name-ordered subgroups.  Membership is
+        # demand-independent so re-optimization rounds keep the same
+        # partitioning (and the same cache keys for unchanged slices).
+        num_parts = -(-len(group) // max_chains)
+        subgroups = [group[i::num_parts] for i in range(num_parts)]
+        totals: dict[ResourceKey, float] = {}
+        touched: dict[ResourceKey, int] = {}
+        for name in group:
+            for resource, weight in weights[name].items():
+                totals[resource] = totals.get(resource, 0.0) + weight
+                touched[resource] = touched.get(resource, 0) + 1
+        for subgroup in subgroups:
+            index = len(partitions)
+            partitions.append(Partition(index, tuple(subgroup), exact=False))
+            sub_weights: dict[ResourceKey, float] = {}
+            sub_touched: dict[ResourceKey, int] = {}
+            for name in subgroup:
+                for resource, weight in weights[name].items():
+                    sub_weights[resource] = (
+                        sub_weights.get(resource, 0.0) + weight
+                    )
+                    sub_touched[resource] = sub_touched.get(resource, 0) + 1
+            part_shares: dict[ResourceKey, float] = {}
+            for resource, weight in sub_weights.items():
+                total = totals[resource]
+                if total > 0:
+                    part_shares[resource] = weight / total
+                else:
+                    # Zero-demand contention (e.g. all-idle chains):
+                    # split evenly among the subgroups that touch it.
+                    part_shares[resource] = (
+                        sub_touched[resource] / touched[resource]
+                    )
+            shares[index] = part_shares
+    return PartitionPlan(partitions, shares, structure)
+
+
+__all__ = [
+    "DEFAULT_GAP_TOLERANCE",
+    "Partition",
+    "PartitionError",
+    "PartitionPlan",
+    "chain_resources",
+    "coupling_groups",
+    "partition_chains",
+]

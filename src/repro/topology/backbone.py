@@ -45,8 +45,8 @@ class Backbone:
     def with_background(self, background: dict[str, float]) -> "Backbone":
         """Return a copy whose links carry the given background traffic."""
         links = [
-            Link(l.name, l.src, l.dst, l.bandwidth, background.get(l.name, 0.0))
-            for l in self.links
+            Link(link.name, link.src, link.dst, link.bandwidth, background.get(link.name, 0.0))
+            for link in self.links
         ]
         return Backbone(self.cities, self.graph, self.latency, links, self.routing)
 

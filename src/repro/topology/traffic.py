@@ -102,9 +102,9 @@ def apply_background(
     """
     loads = route_background(backbone, background)
     links = []
-    for l in backbone.links:
-        g = loads.get(l.name, 0.0)
+    for link in backbone.links:
+        g = loads.get(link.name, 0.0)
         if clip_fraction is not None:
-            g = min(g, clip_fraction * l.bandwidth)
-        links.append(Link(l.name, l.src, l.dst, l.bandwidth, g))
+            g = min(g, clip_fraction * link.bandwidth)
+        links.append(Link(link.name, link.src, link.dst, link.bandwidth, g))
     return links

@@ -8,7 +8,7 @@ from repro.core.dp import (
     IncrementalDpRouter,
     route_chains_dp,
 )
-from repro.core.lp import LpObjective, solve_chain_routing_lp
+from repro.core.lp import solve_chain_routing_lp
 from repro.core.model import Chain, CloudSite, Link, NetworkModel, VNF
 
 

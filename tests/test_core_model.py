@@ -194,3 +194,55 @@ class TestCopies:
 
     def test_total_demand_sums_stage_one(self, triangle_model):
         assert triangle_model.total_demand() == pytest.approx(7.0 + 4.0)
+
+
+class TestDigest:
+    def test_insertion_order_invariant(self, triangle_model):
+        reordered = NetworkModel(
+            list(reversed(triangle_model.nodes)),
+            {("b", "c"): 15.0, ("a", "c"): 30.0, ("a", "b"): 10.0},
+            list(reversed(list(triangle_model.sites.values()))),
+            list(reversed(list(triangle_model.vnfs.values()))),
+            list(reversed(list(triangle_model.chains.values()))),
+        )
+        assert reordered.digest() == triangle_model.digest()
+
+    def test_round_trips_serialization(self, triangle_model):
+        from repro.core.serialization import model_from_dict, model_to_dict
+
+        clone = model_from_dict(model_to_dict(triangle_model))
+        assert clone.digest() == triangle_model.digest()
+
+    def test_demand_change_changes_digest(self, triangle_model):
+        before = triangle_model.digest()
+        chain = triangle_model.chains["c1"]
+        triangle_model.remove_chain("c1")
+        triangle_model.add_chain(chain.scaled(2.0))
+        assert triangle_model.digest() != before
+
+    def test_capacity_change_changes_digest(self, triangle_model):
+        before = triangle_model.digest()
+        smaller = triangle_model.copy_with_sites(
+            [CloudSite(s.name, s.node, s.capacity / 2)
+             for s in triangle_model.sites.values()]
+        )
+        assert smaller.digest() != before
+
+    def test_chain_subset_digest(self, triangle_model):
+        full = triangle_model.digest()
+        only_c1 = triangle_model.digest(chains=["c1"])
+        assert only_c1 != full
+        # Subset digest matches a model actually restricted to c1.
+        restricted = triangle_model.copy_with_chains(
+            [triangle_model.chains["c1"]]
+        )
+        assert restricted.digest() == only_c1
+        # The other chain's demand is invisible to c1's subset digest.
+        c2 = triangle_model.chains["c2"]
+        triangle_model.remove_chain("c2")
+        triangle_model.add_chain(c2.scaled(3.0))
+        assert triangle_model.digest(chains=["c1"]) == only_c1
+
+    def test_unknown_chain_rejected(self, triangle_model):
+        with pytest.raises(ModelError):
+            triangle_model.digest(chains=["ghost"])

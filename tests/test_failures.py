@@ -137,7 +137,7 @@ class TestSiteFailure:
         gs, service, *_ = build_deployment(cap_a=10.0, cap_b=10.0)
         gs.create_chain(spec("c1", demand=10.0))  # needs 20 load; has 20
         assert gs.installations["c1"].routed_fraction == pytest.approx(1.0)
-        report = fail_site(gs, "A")
+        fail_site(gs, "A")
         assert gs.installations["c1"].routed_fraction < 1.0
         restore_site(gs, "A", site_capacity=100.0, vnf_capacity={"fw": 10.0})
         gained = gs.extend_chain("c1")
@@ -194,6 +194,37 @@ class TestReoptimize:
         gs.create_chain(spec("c1"))
         with pytest.raises(ValueError):
             reoptimize(gs, {"c1": -1.0})
+
+    def test_mid_round_removal_skipped_not_keyerror(self):
+        """Chains torn down while a round is running are skipped.
+
+        Regression test: ``reoptimize`` used to iterate the live
+        ``gs.installations`` dict, so a chain removed by a controller
+        callback during an earlier chain's re-route (operator teardown
+        between bus messages, admission-control eviction) raised
+        ``KeyError`` halfway through the round, leaving released-but-
+        unrouted chains behind.  The round now snapshots the
+        installation set at entry and re-checks membership per step.
+        """
+        gs, *_ = build_deployment()
+        gs.create_chain(spec("c1", demand=5.0))
+        gs.create_chain(spec("c2", demand=4.0, dst="20.0.1.0/24"))
+        original = gs._route_and_commit
+
+        def evicting(name):
+            if name == "c1":
+                gs.remove_chain("c2")
+            return original(name)
+
+        gs._route_and_commit = evicting
+        report = reoptimize(gs, {"c1": 2.0, "c2": 2.0})
+        assert "c2" not in gs.installations
+        assert report.vanished == ["c2"]
+        assert report.rerouted == ["c1"]
+        assert gs.installations["c1"].routed_fraction == pytest.approx(1.0)
+        # Accounting covers only chains that survived the round.
+        assert report.offered_after == pytest.approx(10.0)
+        assert report.carried_after == pytest.approx(10.0)
 
     def test_diurnal_cycle_round_trip(self):
         """Drive a chain through a simulated day of demand factors."""

@@ -159,7 +159,7 @@ class TestAuditor:
 
     def test_stale_rules_detected_after_sloppy_teardown(self):
         gs = build_deployment({"B": 50.0})
-        installation = gs.create_chain(spec())
+        gs.create_chain(spec())
         # Simulate a teardown that forgets the data plane.
         gs.router.rollback("corp")
         gs.labels.release("corp")

@@ -1,7 +1,6 @@
 """Gap-filling tests for small API surfaces not covered elsewhere."""
 
 import math
-import random
 
 import pytest
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.capacity import plan_cloud_capacity

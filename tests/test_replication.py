@@ -74,7 +74,6 @@ class TestFaultTolerance:
         assert store.read_repairs >= 1
         # nyc now holds the latest version: kill the others and read.
         store.fail("chi")
-        store_single = ReplicatedStore(REPLICAS, quorum=1)
         # (direct check on the replica data instead)
         assert store.replicas["nyc"].data["/k"].value == "v2"
 

@@ -1,0 +1,213 @@
+"""Tests for the solver farm: caching, incremental re-solve, pool path,
+fallbacks, and the GlobalSwitchboard wiring."""
+
+import pytest
+
+from repro.core.lp import LpObjective, LpResult, solve_chain_routing_lp
+from repro.obs import MetricsRegistry
+from repro.scale import (
+    FarmResult,
+    MonolithicSolver,
+    SolutionCache,
+    SolverFarm,
+)
+from tests.test_scale_partition import clustered_model, coupled_model
+
+
+def scale_demand(model, name, factor):
+    chain = model.chains[name]
+    model.remove_chain(name)
+    model.add_chain(chain.scaled(factor))
+
+
+class TestFarmSolve:
+    def test_exact_partitioning_matches_monolithic(self):
+        model = clustered_model(3)
+        mono = solve_chain_routing_lp(model, LpObjective.MIN_LATENCY)
+        farm = SolverFarm(partition_size=1, max_workers=1)
+        result = farm.solve(model, LpObjective.MIN_LATENCY)
+        assert result.ok and result.exact
+        assert result.objective == pytest.approx(mono.objective, rel=1e-6)
+        assert result.solution.throughput() == pytest.approx(
+            mono.solution.throughput(), rel=1e-6
+        )
+        result.solution.validate()
+
+    def test_split_solution_is_feasible(self):
+        model = coupled_model(6, demands=[1, 2, 3, 4, 5, 6], bandwidth=100.0)
+        farm = SolverFarm(partition_size=2, max_workers=1)
+        result = farm.solve(model)
+        assert result.ok and not result.exact
+        assert result.solution.violations() == []
+
+    def test_repeat_solve_served_from_cache(self):
+        registry = MetricsRegistry()
+        model = clustered_model(3)
+        farm = SolverFarm(partition_size=1, max_workers=1, metrics=registry)
+        first = farm.solve(model)
+        second = farm.solve(model)
+        assert first.cache_hits == 0 and len(first.solved) == 3
+        assert second.cache_hits == 3 and len(second.solved) == 0
+        assert registry.value("scale.cache.hits") == 3
+        assert registry.value("scale.cache.misses") == 3
+        assert second.objective == pytest.approx(first.objective)
+
+    def test_objective_is_part_of_cache_key(self):
+        farm = SolverFarm(partition_size=1, max_workers=1)
+        model = clustered_model(2)
+        farm.solve(model, LpObjective.MIN_LATENCY)
+        result = farm.solve(model, LpObjective.MAX_THROUGHPUT)
+        assert result.cache_hits == 0
+
+    def test_shared_cache_across_farms(self):
+        cache = SolutionCache()
+        model = clustered_model(2)
+        SolverFarm(partition_size=1, max_workers=1, cache=cache).solve(model)
+        result = SolverFarm(
+            partition_size=1, max_workers=1, cache=cache
+        ).solve(model)
+        assert result.cache_hits == 2
+
+
+class TestIncrementalResolve:
+    def test_only_changed_partition_resolves(self):
+        registry = MetricsRegistry()
+        model = clustered_model(4)
+        farm = SolverFarm(partition_size=1, max_workers=1, metrics=registry)
+        farm.solve(model)
+        before = registry.value("scale.partition_solves")
+        scale_demand(model, "c2", 1.5)
+        result = farm.resolve(model, ["c2"])
+        assert registry.value("scale.partition_solves") - before == 1
+        assert len(result.solved) == 1
+        assert result.cache_hits == 3
+
+    def test_resolved_solution_reflects_new_demand(self):
+        model = clustered_model(3)
+        farm = SolverFarm(partition_size=1, max_workers=1)
+        farm.solve(model)
+        scale_demand(model, "c1", 2.0)
+        result = farm.resolve(model, ["c1"])
+        mono = solve_chain_routing_lp(model, LpObjective.MAX_THROUGHPUT)
+        assert result.solution.throughput() == pytest.approx(
+            mono.solution.throughput(), rel=1e-6
+        )
+
+    def test_resolve_without_plan_falls_back_to_solve(self):
+        model = clustered_model(2)
+        farm = SolverFarm(partition_size=1, max_workers=1)
+        result = farm.resolve(model, ["c0"])
+        assert result.ok
+        assert len(result.solved) == 2
+
+    def test_resolve_after_chain_set_change_replans(self):
+        model = clustered_model(2)
+        farm = SolverFarm(partition_size=1, max_workers=1)
+        farm.solve(model)
+        grown = clustered_model(3)
+        result = farm.resolve(grown, ["c2"])
+        assert result.ok
+        assert len(result.solved) == 3  # full re-plan, no stale cache use
+
+
+class TestPoolAndFallback:
+    def test_pool_matches_serial(self):
+        model = clustered_model(3)
+        serial = SolverFarm(partition_size=1, max_workers=1).solve(model)
+        try:
+            pooled = SolverFarm(partition_size=1, max_workers=2).solve(model)
+        except Exception as exc:  # pragma: no cover - sandboxed CI
+            pytest.skip(f"process pool unavailable: {exc}")
+        assert pooled.objective == pytest.approx(serial.objective, rel=1e-6)
+        assert pooled.solution.throughput() == pytest.approx(
+            serial.solution.throughput(), rel=1e-6
+        )
+
+    def test_infeasible_partition_falls_back_to_monolithic(self):
+        registry = MetricsRegistry()
+        # MIN_LATENCY must route everything; demand 40 > capacity 20.
+        model = coupled_model(2, demands=[20.0, 20.0], fw_cap=20.0)
+        farm = SolverFarm(partition_size=1, max_workers=1, metrics=registry)
+        result = farm.solve(model, LpObjective.MIN_LATENCY)
+        assert result.fallback
+        assert result.status == "infeasible"
+        assert registry.value("scale.fallbacks") == 1
+
+    def test_failed_results_not_cached(self):
+        model = coupled_model(2, demands=[20.0, 20.0], fw_cap=20.0)
+        farm = SolverFarm(partition_size=1, max_workers=1)
+        farm.solve(model, LpObjective.MIN_LATENCY)
+        assert len(farm.cache) == 0
+
+
+class TestMonolithicSolver:
+    def test_matches_direct_lp(self):
+        model = clustered_model(2)
+        direct = solve_chain_routing_lp(model, LpObjective.MAX_THROUGHPUT)
+        solver = MonolithicSolver()
+        result = solver.solve(model)
+        assert isinstance(result, LpResult)
+        assert result.objective == pytest.approx(direct.objective)
+
+    def test_resolve_is_full_solve(self):
+        model = clustered_model(2)
+        solver = MonolithicSolver()
+        full = solver.solve(model)
+        incremental = solver.resolve(model, ["c0"])
+        assert incremental.objective == pytest.approx(full.objective)
+
+
+class TestSwitchboardWiring:
+    def build(self, solver=None):
+        from tests.test_failures import build_deployment
+
+        gs, _service, _ingress, _egress = build_deployment()
+        gs.solver = solver
+        return gs
+
+    def test_default_plan_routes_is_direct_lp(self):
+        from tests.test_failures import spec
+
+        gs = self.build()
+        gs.create_chain(spec("c1", demand=5.0))
+        plan = gs.plan_routes()
+        direct = solve_chain_routing_lp(gs.model, LpObjective.MAX_THROUGHPUT)
+        assert isinstance(plan, LpResult)
+        assert plan.objective == pytest.approx(direct.objective)
+
+    def test_solver_strategy_dispatch(self):
+        from tests.test_failures import spec
+
+        farm = SolverFarm(partition_size=1, max_workers=1)
+        gs = self.build(solver=farm)
+        gs.create_chain(spec("c1", demand=5.0))
+        plan = gs.plan_routes()
+        assert isinstance(plan, FarmResult)
+        assert plan.ok
+
+    def test_reoptimize_attaches_incremental_plan(self):
+        from repro.controller import reoptimize
+        from tests.test_failures import spec
+
+        farm = SolverFarm(partition_size=1, max_workers=1)
+        gs = self.build(solver=farm)
+        gs.create_chain(spec("c1", demand=5.0))
+        gs.create_chain(spec("c2", demand=4.0, dst="20.0.1.0/24"))
+        gs.plan_routes()  # warm the cache with the pre-change demands
+        report = reoptimize(gs, {"c1": 2.0, "c2": 1.0})
+        assert report.plan is not None
+        assert report.plan.ok
+        # Only c1's partition re-solved; c2's came from the cache.
+        assert report.plan.cache_hits >= 1
+        assert report.plan.solution.throughput() == pytest.approx(
+            gs.model.total_demand()
+        )
+
+    def test_reoptimize_without_solver_has_no_plan(self):
+        from repro.controller import reoptimize
+        from tests.test_failures import spec
+
+        gs = self.build()
+        gs.create_chain(spec("c1", demand=5.0))
+        report = reoptimize(gs, {"c1": 2.0})
+        assert report.plan is None

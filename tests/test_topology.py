@@ -1,6 +1,5 @@
 """Tests for the synthetic backbone, traffic matrices, and workloads."""
 
-import math
 import random
 
 import pytest
@@ -8,7 +7,6 @@ import pytest
 from repro.core.lp import LpObjective, solve_chain_routing_lp
 from repro.topology.backbone import Backbone, build_backbone
 from repro.topology.cities import (
-    City,
     DEFAULT_CITIES,
     fibre_delay_ms,
     great_circle_km,
@@ -80,7 +78,7 @@ class TestBackbone:
                     )
 
     def test_links_are_directed_pairs(self, backbone):
-        names = {l.name for l in backbone.links}
+        names = {link.name for link in backbone.links}
         for link in backbone.links:
             assert f"{link.dst}-{link.src}" in names
 
@@ -96,7 +94,7 @@ class TestBackbone:
             assert out_fracs == pytest.approx(1.0)
 
     def test_core_links_have_higher_capacity(self, backbone):
-        capacities = {l.bandwidth for l in backbone.links}
+        capacities = {link.bandwidth for link in backbone.links}
         assert len(capacities) == 2  # core and edge tiers
 
     def test_too_few_cities_rejected(self):
@@ -156,7 +154,6 @@ class TestWorkload:
             WorkloadConfig(num_vnfs=2, max_chain_length=5)
 
     def test_coverage_controls_placement_breadth(self):
-        rng = random.Random(0)
         sites = [f"S{i}" for i in range(20)]
         low = place_vnfs(WorkloadConfig(coverage=0.25), sites, random.Random(0))
         high = place_vnfs(WorkloadConfig(coverage=0.75), sites, random.Random(0))
@@ -232,4 +229,4 @@ class TestWorkload:
 
     def test_background_traffic_applied_to_links(self):
         model = generate_workload(WorkloadConfig(num_chains=10))
-        assert any(l.background > 0 for l in model.links.values())
+        assert any(link.background > 0 for link in model.links.values())
