@@ -244,11 +244,15 @@ class GlobalMessageBus:
             "published_at": self.network.sim.now,
             "size": size_bytes or self.MESSAGE_BYTES,
         }
+        # strict=False: a crashed or removed proxy turns the publish
+        # into an accounted drop rather than a NetworkError from deep
+        # inside a fault scenario (see repro.chaos).
         self.network.send(
             client.name,
             proxy_name(client.site),
             message,
             size_bytes or self.MESSAGE_BYTES,
+            strict=False,
         )
 
     # -- proxy / client behaviour -------------------------------------------
@@ -285,6 +289,7 @@ class GlobalMessageBus:
                 gateway_name(site),
                 {**message, "dest_site": target_site},
                 message["size"],
+                strict=False,
             )
             if not sent:
                 self.stats.wan_drops += 1
@@ -295,7 +300,8 @@ class GlobalMessageBus:
         key = message["topic"]
         for subscriber in self._local_subscribers[site].get(key, []):
             self.network.send(
-                proxy_name(site), subscriber, message, message["size"]
+                proxy_name(site), subscriber, message, message["size"],
+                strict=False,
             )
 
     def _make_client_receiver(self, client: BusClient):
@@ -337,6 +343,7 @@ def install_gateway_relays(bus: GlobalMessageBus) -> None:
                 proxy_name(dest),
                 message,
                 message["size"],
+                strict=False,
             )
 
         host.on_receive(relay)

@@ -1,0 +1,538 @@
+"""The chaos soak runner.
+
+Builds a full Switchboard deployment (controller + VNF services + edge
++ proxy bus on one simulated network + a replicated controller store),
+installs a seeded chain population, drives a seeded pub/sub workload,
+and plays a :class:`repro.chaos.scenario.Scenario` against it while
+:class:`repro.chaos.invariants.InvariantChecker` probes continuously.
+
+One integer seed determines everything: the chain workload, the publish
+schedule, the fault schedule, and the loss sampling all derive their
+RNGs from it, so a failing run reproduces exactly from
+``python -m repro chaos --seed N``.
+
+The result is a :class:`SoakReport`: invariant violations (the run
+passes only with zero), carried traffic before/after, per-failure
+recovery ratios, bus delivery counters, drop reasons, and leader-lease
+activity.  ``to_json()`` is deterministic -- it contains only
+simulation-derived values, never wall-clock timings (those go to the
+metrics registry as ``chaos.recovery_s``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.bus.bus import GlobalMessageBus, make_bus, proxy_name
+from repro.bus.topics import Topic
+from repro.chaos.invariants import (
+    InvariantChecker,
+    LeaseMonitor,
+    Violation,
+    bus_delivery,
+    capacity_safety,
+    lease_safety,
+    link_conservation,
+    network_quiescence,
+    two_phase_atomicity,
+)
+from repro.chaos.scenario import (
+    FaultEvent,
+    Scenario,
+    ScenarioConfig,
+    generate_scenario,
+)
+from repro.controller import (
+    ChainSpecification,
+    GlobalSwitchboard,
+    LocalSwitchboard,
+)
+from repro.controller.failures import (
+    FailureReport,
+    fail_site,
+    restore_site,
+)
+from repro.controller.replication import ReplicatedStore
+from repro.core.model import CloudSite, NetworkModel, VNF
+from repro.dataplane import DataPlane
+from repro.edge import EdgeController, EdgeInstance
+from repro.obs import MetricsRegistry, collect_bus, collect_network
+from repro.simnet.events import Simulator
+from repro.simnet.network import SimNetwork
+from repro.vnf import VnfService
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Knobs of one soak run.  Everything random derives from ``seed``."""
+
+    seed: int = 1
+    duration_s: float = 60.0
+    num_chains: int = 8
+    chain_demand: float = 3.0
+    publish_rate_hz: float = 4.0
+    probe_interval_s: float = 1.0
+    lease_duration_s: float = 4.0
+    lease_renew_s: float = 1.5
+    scenario: ScenarioConfig | None = None
+
+    def scenario_config(self) -> ScenarioConfig:
+        if self.scenario is not None:
+            return self.scenario
+        return ScenarioConfig(duration_s=self.duration_s)
+
+
+#: Sites of the soak deployment ("a" is the hub node, so site-A outages
+#: force latency detours, as in the failure-recovery bench).
+SITES = ("A", "B", "C", "D")
+_NODE_LATENCY = {
+    ("a", "b"): 8.0, ("a", "c"): 8.0, ("a", "d"): 8.0,
+    ("b", "c"): 16.0, ("b", "d"): 16.0, ("c", "d"): 16.0,
+}
+#: Leader candidates for the controller lease (primary + standby).
+CANDIDATES = ("gs-primary", "gs-standby")
+
+
+@dataclass
+class Deployment:
+    """Everything the engine and the probes need a handle on."""
+
+    sim: Simulator
+    net: SimNetwork
+    bus: GlobalMessageBus
+    gs: GlobalSwitchboard
+    store: ReplicatedStore
+    monitor: LeaseMonitor
+    registry: MetricsRegistry
+    sites: tuple[str, ...] = SITES
+
+
+def build_deployment(config: SoakConfig) -> Deployment:
+    """One seeded Switchboard deployment with an installed chain
+    population (the workload side of the soak)."""
+    sim = Simulator()
+    registry = MetricsRegistry.for_simulator(sim)
+    net = SimNetwork(sim, metrics=registry)
+    net.set_fault_rng(random.Random(f"loss-{config.seed}"))
+    bus = make_bus(
+        list(SITES),
+        wan_delay_s=0.020,
+        uplink_bps=50e6,
+        uplink_buffer_bytes=128_000,
+        network=net,
+        metrics=registry,
+    )
+
+    # Capacity: every VNF at every site, sized so three surviving sites
+    # can carry the whole population (a single-site outage is fully
+    # recoverable; concurrent link faults may still degrade).
+    total_load = config.num_chains * 2.5 * config.chain_demand
+    per_site = total_load * 1.6 / (len(SITES) - 1)
+    capacity = {site: per_site for site in SITES}
+    vnfs = [VNF("fw", 1.0, dict(capacity)), VNF("nat", 1.0, dict(capacity))]
+    model = NetworkModel(
+        ["a", "b", "c", "d"],
+        dict(_NODE_LATENCY),
+        [CloudSite(s, s.lower(), 10 * per_site) for s in SITES],
+        vnfs,
+    )
+    dp = DataPlane(random.Random(0), metrics=registry)
+    gs = GlobalSwitchboard(model, dp, metrics=registry)
+    for site in SITES:
+        gs.register_local_switchboard(LocalSwitchboard(site, dp))
+    for vnf in vnfs:
+        gs.register_vnf_service(
+            VnfService(vnf.name, vnf.load_per_unit, dict(vnf.site_capacity))
+        )
+    edge = EdgeController("vpn")
+    for site in SITES:
+        edge.register_instance(EdgeInstance(f"edge.{site}", site, dp))
+        edge.register_attachment(f"att-{site}", site)
+    gs.register_edge_service(edge)
+
+    rng = random.Random(f"workload-{config.seed}")
+    for i in range(config.num_chains):
+        ingress, egress = rng.sample(list(SITES), 2)
+        chain_vnfs = ["fw"] if rng.random() < 0.5 else ["fw", "nat"]
+        gs.create_chain(
+            ChainSpecification(
+                f"chain{i}", "vpn", f"att-{ingress}", f"att-{egress}",
+                chain_vnfs,
+                forward_demand=config.chain_demand,
+                reverse_demand=config.chain_demand * 0.25,
+                dst_prefixes=[f"20.0.{i}.0/24"],
+            )
+        )
+
+    store = ReplicatedStore([f"ctl.{s}" for s in SITES])
+    return Deployment(sim, net, bus, gs, store, LeaseMonitor(store), registry)
+
+
+class ChaosEngine:
+    """Maps :class:`FaultEvent`\\ s onto the deployment's fault
+    primitives and recovery entry points, and runs the leader-lease
+    loop."""
+
+    def __init__(self, deployment: Deployment, config: SoakConfig):
+        self.d = deployment
+        self.config = config
+        self.applied: list[tuple[float, str]] = []
+        self.reports: list[FailureReport] = []
+        #: site -> (site capacity, per-VNF capacity) stashed at failure.
+        self._site_stash: dict[str, tuple[float, dict[str, float]]] = {}
+        self._site_reports: dict[str, FailureReport] = {}
+        self.dead_candidates: set[str] = set()
+        self.leader_transitions = 0
+        self.leaders_killed = 0
+        self._last_leader: str | None = None
+        self._recovery_hist = deployment.registry.histogram(
+            "chaos.recovery_s"
+        )
+
+    # -- scheduling -----------------------------------------------------
+
+    def schedule(self, scenario: Scenario) -> None:
+        for event in scenario.events:
+            self.d.sim.schedule_at(event.at, self._apply, event)
+
+    def start_lease_loop(self) -> None:
+        def tick() -> None:
+            now = self.d.sim.now
+            for candidate in CANDIDATES:
+                if candidate not in self.dead_candidates:
+                    self.d.monitor.acquire(
+                        candidate, now, self.config.lease_duration_s
+                    )
+            leader = self.d.monitor.leader(now)
+            if leader is not None and leader != self._last_leader:
+                if self._last_leader is not None:
+                    self.leader_transitions += 1
+                self._last_leader = leader
+            if now + self.config.lease_renew_s <= self.config.duration_s:
+                self.d.sim.schedule(self.config.lease_renew_s, tick)
+
+        self.d.sim.schedule(0.0, tick)
+
+    # -- event application ----------------------------------------------
+
+    def _apply(self, event: FaultEvent) -> None:
+        handler = getattr(self, f"_on_{event.kind}")
+        started = time.perf_counter()
+        handler(event)
+        if event.kind in ("fail_site", "restore_site", "kill_leader"):
+            # Recovery work runs synchronously inside the event; its
+            # wall-clock cost is the honest "recovery latency" here.
+            self._recovery_hist.observe(time.perf_counter() - started)
+        self.applied.append((round(self.d.sim.now, 9), event.kind))
+
+    def _on_link_down(self, event: FaultEvent) -> None:
+        self.d.net.fail_link(*event.target)
+
+    def _on_link_up(self, event: FaultEvent) -> None:
+        self.d.net.restore_link(*event.target)
+
+    def _on_link_loss(self, event: FaultEvent) -> None:
+        self.d.net.set_link_loss(*event.target, event.value)
+
+    def _on_link_degrade(self, event: FaultEvent) -> None:
+        self.d.net.set_link_degradation(*event.target, event.value)
+
+    def _on_partition(self, event: FaultEvent) -> None:
+        groups = []
+        for site_group in event.target:
+            members = set(site_group)
+            groups.append(
+                [h.name for h in self.d.net.hosts if h.site in members]
+            )
+        self.d.net.partition(groups)
+
+    def _on_heal_partition(self, event: FaultEvent) -> None:
+        self.d.net.heal_partition()
+
+    def _on_crash_host(self, event: FaultEvent) -> None:
+        self.d.net.crash_host(event.target[0])
+
+    def _on_restart_host(self, event: FaultEvent) -> None:
+        self.d.net.restart_host(event.target[0])
+
+    def _on_fail_site(self, event: FaultEvent) -> None:
+        site = event.target[0]
+        gs = self.d.gs
+        if site not in self._site_stash:
+            self._site_stash[site] = (
+                gs.model.sites[site].capacity,
+                {
+                    name: vnf.site_capacity[site]
+                    for name, vnf in gs.model.vnfs.items()
+                    if site in vnf.site_capacity
+                },
+            )
+        report = fail_site(gs, site)
+        self.reports.append(report)
+        self._site_reports[site] = report
+
+    def _on_restore_site(self, event: FaultEvent) -> None:
+        site = event.target[0]
+        stash = self._site_stash.pop(site, None)
+        if stash is None:
+            return  # restore without a preceding failure: nothing to do
+        restore_site(self.d.gs, site, stash[0], stash[1])
+        # Re-extend the chains the outage degraded onto the restored
+        # capacity (the operator action restore_site documents).
+        report = self._site_reports.pop(site, None)
+        if report is not None:
+            for name in report.affected_chains:
+                if name in self.d.gs.installations:
+                    try:
+                        self.d.gs.extend_chain(name)
+                    except Exception:
+                        pass
+
+    def _on_kill_leader(self, event: FaultEvent) -> None:
+        leader = self.d.monitor.leader(self.d.sim.now)
+        if leader is None:
+            return
+        self.dead_candidates.add(leader)
+        self.leaders_killed += 1
+        # The killed process comes back (as a standby) well after its
+        # old lease expired and the survivor took over.
+        self.d.sim.schedule(
+            3 * self.config.lease_duration_s,
+            self.dead_candidates.discard, leader,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Workload
+# ---------------------------------------------------------------------------
+
+
+def _start_workload(d: Deployment, config: SoakConfig) -> None:
+    """Seeded pub/sub load: one publisher per site, one monitor client
+    per site subscribed to every other site's topic."""
+    topics = {
+        site: Topic("soak", "all", "wl", site, "instances")
+        for site in d.sites
+    }
+    for site in d.sites:
+        d.bus.attach(f"app.{site}", site)
+        d.bus.attach(f"mon.{site}", site)
+    for site in d.sites:
+        for other in d.sites:
+            if other != site:
+                d.bus.subscribe(f"mon.{site}", topics[other])
+
+    rng = random.Random(f"publish-{config.seed}")
+    count = int(config.duration_s * config.publish_rate_hz)
+    for site in d.sites:
+        for k in range(count):
+            at = (k + rng.random()) / config.publish_rate_hz
+            if at < config.duration_s:
+                d.sim.schedule_at(
+                    at, d.bus.publish, f"app.{site}", topics[site],
+                    {"seq": k},
+                )
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SoakReport:
+    """Outcome of one soak; ``passed`` iff no invariant was violated."""
+
+    seed: int
+    duration_s: float
+    scenario_digest: str
+    chains: int
+    event_counts: dict[str, int]
+    events_applied: list[tuple[float, str]]
+    violations: list[Violation]
+    carried_before: float
+    carried_after: float
+    recovery: list[dict] = field(default_factory=list)
+    bus_published: int = 0
+    bus_delivered: int = 0
+    bus_wan_drops: int = 0
+    drop_reasons: dict[str, int] = field(default_factory=dict)
+    lease_grants: int = 0
+    leader_transitions: int = 0
+    leaders_killed: int = 0
+    probes_run: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_doc(self) -> dict:
+        """Deterministic document: simulation-derived values only."""
+        return {
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "scenario_digest": self.scenario_digest,
+            "chains": self.chains,
+            "event_counts": self.event_counts,
+            "events_applied": [
+                {"at": at, "kind": kind} for at, kind in self.events_applied
+            ],
+            "violations": [
+                {"at": round(v.at, 9), "invariant": v.invariant,
+                 "detail": v.detail}
+                for v in self.violations
+            ],
+            "carried_before": round(self.carried_before, 6),
+            "carried_after": round(self.carried_after, 6),
+            "recovery": self.recovery,
+            "bus": {
+                "published": self.bus_published,
+                "delivered": self.bus_delivered,
+                "wan_drops": self.bus_wan_drops,
+            },
+            "drop_reasons": self.drop_reasons,
+            "lease": {
+                "grants": self.lease_grants,
+                "transitions": self.leader_transitions,
+                "killed": self.leaders_killed,
+            },
+            "probes_run": self.probes_run,
+            "passed": self.passed,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_doc(), separators=(",", ":"),
+                          sort_keys=True)
+
+    def render(self) -> str:
+        lines = [
+            f"chaos soak: seed={self.seed} duration={self.duration_s:g}s "
+            f"chains={self.chains}",
+            f"schedule digest: {self.scenario_digest[:16]}... "
+            f"({sum(self.event_counts.values())} events)",
+            "events: " + ", ".join(
+                f"{kind}={n}" for kind, n in sorted(self.event_counts.items())
+            ),
+            f"carried fraction: {self.carried_before:.3f} before -> "
+            f"{self.carried_after:.3f} after",
+        ]
+        for entry in self.recovery:
+            lines.append(
+                f"  {entry['kind']} {entry['target']}: "
+                f"{entry['affected']} chain(s) affected, "
+                f"{entry['ratio']:.0%} of affected traffic restored"
+            )
+        lines.append(
+            f"bus: {self.bus_published} published, "
+            f"{self.bus_delivered} delivered, "
+            f"{self.bus_wan_drops} WAN drops"
+        )
+        if self.drop_reasons:
+            lines.append(
+                "drops by reason: " + ", ".join(
+                    f"{k}={v}" for k, v in sorted(self.drop_reasons.items())
+                )
+            )
+        lines.append(
+            f"leases: {self.lease_grants} grant(s), "
+            f"{self.leader_transitions} leader transition(s), "
+            f"{self.leaders_killed} kill(s)"
+        )
+        lines.append(f"invariant probes run: {self.probes_run}")
+        if self.passed:
+            lines.append("PASS: zero invariant violations")
+        else:
+            lines.append(f"FAIL: {len(self.violations)} violation(s)")
+            for violation in self.violations[:20]:
+                lines.append(f"  {violation}")
+        return "\n".join(lines)
+
+
+def _mean_carried(gs: GlobalSwitchboard) -> float:
+    fractions = [
+        inst.routed_fraction for inst in gs.installations.values()
+    ]
+    return sum(fractions) / len(fractions) if fractions else 0.0
+
+
+def run_soak(
+    config: SoakConfig | None = None,
+    scenario: Scenario | None = None,
+) -> SoakReport:
+    """Run one seeded chaos soak end to end.
+
+    Passing an explicit ``scenario`` replays that exact schedule (e.g.
+    one parsed from a previously saved report); otherwise the schedule
+    is generated from ``config.seed``.
+    """
+    config = config or SoakConfig()
+    d = build_deployment(config)
+    carried_before = _mean_carried(d.gs)
+
+    if scenario is None:
+        wan_pairs = []
+        for a in d.sites:
+            for b in d.sites:
+                if a != b:
+                    wan_pairs.append((f"wan.{a}", proxy_name(b)))
+        scenario = generate_scenario(
+            config.seed, d.sites, wan_pairs, config.scenario_config()
+        )
+
+    engine = ChaosEngine(d, config)
+    engine.schedule(scenario)
+    engine.start_lease_loop()
+    _start_workload(d, config)
+
+    checker = InvariantChecker(d.sim, interval_s=config.probe_interval_s)
+    checker.add("link_conservation", link_conservation(d.net))
+    checker.add("two_phase_atomicity", two_phase_atomicity(d.gs))
+    checker.add("capacity_safety", capacity_safety(d.gs))
+    checker.add("bus_delivery", bus_delivery(d.bus))
+    checker.add("lease_safety", lease_safety(d.monitor))
+    checker.start(config.duration_s)
+
+    d.net.run(until=config.duration_s)
+    d.net.run()  # drain in-flight deliveries and late heal events
+    checker.check_now()
+    # With the queue drained, nothing may remain in flight.
+    quiescence = network_quiescence(d.net)
+    for detail in quiescence():
+        checker.violations.append(
+            Violation(d.sim.now, "network_quiescence", detail)
+        )
+
+    collect_network(d.registry, d.net)
+    collect_bus(d.registry, d.bus)
+
+    return SoakReport(
+        seed=config.seed,
+        duration_s=config.duration_s,
+        scenario_digest=scenario.digest(),
+        chains=config.num_chains,
+        event_counts=scenario.counts(),
+        events_applied=engine.applied,
+        violations=list(checker.violations),
+        carried_before=carried_before,
+        carried_after=_mean_carried(d.gs),
+        recovery=[
+            {
+                "kind": report.kind,
+                "target": report.site,
+                "affected": len(report.affected_chains),
+                "ratio": round(report.recovery_ratio(), 6),
+            }
+            for report in engine.reports
+        ],
+        bus_published=d.bus.stats.published,
+        bus_delivered=d.bus.stats.delivered,
+        bus_wan_drops=d.bus.stats.wan_drops,
+        drop_reasons=dict(sorted(d.net.drop_reasons.items())),
+        lease_grants=len(d.monitor.grants),
+        leader_transitions=engine.leader_transitions,
+        leaders_killed=engine.leaders_killed,
+        probes_run=checker.probes_run,
+    )

@@ -1,0 +1,223 @@
+"""Declarative, seeded fault schedules.
+
+A :class:`Scenario` is a plain list of timed :class:`FaultEvent`\\ s --
+no callbacks, no hidden state -- so it can be serialized, diffed, and
+replayed byte-identically.  :func:`generate_scenario` builds one from a
+single integer seed: random link flaps on the WAN, optional loss and
+delay-degradation windows, one site outage, one bus-proxy crash, and one
+controller leader kill, all with times and targets drawn from
+``random.Random(seed)``.  Two calls with the same seed and config
+produce the same JSON document (that is asserted by the chaos tests and
+surfaced as the schedule digest in the soak report).
+
+The schedule is *applied* by :class:`repro.chaos.runner.ChaosEngine`,
+which maps each event kind onto the simnet fault primitives, the
+controller's recovery entry points, and the replicated store's lease
+machinery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+class ScenarioError(Exception):
+    """Raised on invalid scenario construction."""
+
+
+#: Event kinds understood by the chaos engine.
+EVENT_KINDS = (
+    "link_down",
+    "link_up",
+    "link_loss",
+    "link_degrade",
+    "partition",
+    "heal_partition",
+    "crash_host",
+    "restart_host",
+    "fail_site",
+    "restore_site",
+    "kill_leader",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault or heal action.
+
+    ``target`` is kind-dependent: a host pair for link events, a host
+    name for crash/restart, a site name for site events, the partition
+    groups (as a tuple of sorted site tuples) for ``partition``, and
+    empty for ``heal_partition`` / ``kill_leader``.  ``value`` carries
+    the loss probability or delay multiplier where applicable.
+    """
+
+    at: float
+    kind: str
+    target: tuple = ()
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ScenarioError(f"event in the past: {self.at}")
+        if self.kind not in EVENT_KINDS:
+            raise ScenarioError(f"unknown event kind {self.kind!r}")
+
+    def to_doc(self) -> dict:
+        return {
+            "at": round(self.at, 9),
+            "kind": self.kind,
+            "target": list(self.target),
+            "value": self.value,
+        }
+
+
+@dataclass
+class Scenario:
+    """A reproducible fault schedule (events sorted by time)."""
+
+    seed: int
+    duration_s: float
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events.sort(key=lambda e: (e.at, e.kind, e.target))
+
+    def to_json(self) -> str:
+        """Deterministic serialization: same seed -> same bytes."""
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "duration_s": self.duration_s,
+                "events": [e.to_doc() for e in self.events],
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+
+    def digest(self) -> str:
+        """Stable content hash of the schedule (hex SHA-256)."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs for :func:`generate_scenario`.
+
+    The defaults produce the acceptance mix: several link flaps, one
+    site outage, one bus-proxy crash, and one leader kill, all inside
+    the middle 80% of the run so recovery has time to settle.
+    """
+
+    duration_s: float = 60.0
+    link_flaps: int = 3
+    flap_down_s: float = 3.0
+    loss_windows: int = 1
+    loss_probability: float = 0.2
+    degrade_windows: int = 1
+    degrade_multiplier: float = 4.0
+    window_s: float = 5.0
+    site_outage: bool = True
+    site_outage_s: float = 10.0
+    proxy_crash: bool = True
+    proxy_crash_s: float = 6.0
+    leader_kill: bool = True
+    partition: bool = False
+    partition_s: float = 5.0
+
+
+def generate_scenario(
+    seed: int,
+    sites: Sequence[str],
+    wan_pairs: Sequence[tuple[str, str]],
+    config: ScenarioConfig | None = None,
+) -> Scenario:
+    """Build a random-but-reproducible schedule from one seed.
+
+    ``sites`` are the deployment sites (site outages, proxy crashes and
+    partitions pick from them); ``wan_pairs`` are the simnet host pairs
+    whose links flap/degrade (typically gateway->proxy pairs).
+    """
+    config = config or ScenarioConfig()
+    if config.duration_s <= 0:
+        raise ScenarioError("non-positive scenario duration")
+    if not sites:
+        raise ScenarioError("need at least one site")
+    rng = random.Random(seed)
+    events: list[FaultEvent] = []
+    lo = 0.1 * config.duration_s
+    hi = 0.9 * config.duration_s
+
+    def window(length: float) -> tuple[float, float]:
+        start = rng.uniform(lo, max(lo, hi - length))
+        return start, min(start + length, hi)
+
+    for _ in range(config.link_flaps):
+        if not wan_pairs:
+            break
+        pair = rng.choice(list(wan_pairs))
+        start, end = window(config.flap_down_s)
+        events.append(FaultEvent(start, "link_down", tuple(pair)))
+        events.append(FaultEvent(end, "link_up", tuple(pair)))
+
+    for _ in range(config.loss_windows):
+        if not wan_pairs:
+            break
+        pair = rng.choice(list(wan_pairs))
+        start, end = window(config.window_s)
+        events.append(
+            FaultEvent(start, "link_loss", tuple(pair),
+                       config.loss_probability)
+        )
+        events.append(FaultEvent(end, "link_loss", tuple(pair), 0.0))
+
+    for _ in range(config.degrade_windows):
+        if not wan_pairs:
+            break
+        pair = rng.choice(list(wan_pairs))
+        start, end = window(config.window_s)
+        events.append(
+            FaultEvent(start, "link_degrade", tuple(pair),
+                       config.degrade_multiplier)
+        )
+        events.append(FaultEvent(end, "link_degrade", tuple(pair), 1.0))
+
+    if config.site_outage:
+        site = rng.choice(list(sites))
+        start, end = window(config.site_outage_s)
+        events.append(FaultEvent(start, "fail_site", (site,)))
+        events.append(FaultEvent(end, "restore_site", (site,)))
+
+    if config.proxy_crash:
+        site = rng.choice(list(sites))
+        start, end = window(config.proxy_crash_s)
+        events.append(FaultEvent(start, "crash_host", (f"proxy.{site}",)))
+        events.append(FaultEvent(end, "restart_host", (f"proxy.{site}",)))
+
+    if config.partition and len(sites) >= 2:
+        shuffled = list(sites)
+        rng.shuffle(shuffled)
+        cut = max(1, len(shuffled) // 2)
+        groups = (
+            tuple(sorted(shuffled[:cut])),
+            tuple(sorted(shuffled[cut:])),
+        )
+        start, end = window(config.partition_s)
+        events.append(FaultEvent(start, "partition", groups))
+        events.append(FaultEvent(end, "heal_partition"))
+
+    if config.leader_kill:
+        at = rng.uniform(lo, hi)
+        events.append(FaultEvent(at, "kill_leader"))
+
+    return Scenario(seed=seed, duration_s=config.duration_s, events=events)

@@ -9,6 +9,7 @@ Usage::
     python -m repro timing
     python -m repro metrics [--publishes N] [--rate HZ] [--json]
     python -m repro scale [--chains N] [--partition-size K] [--workers W]
+    python -m repro chaos [--seed N] [--duration S] [--json] [--out FILE]
 """
 
 from __future__ import annotations
@@ -377,6 +378,31 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded chaos soak: play a fault schedule against a deployment
+    while invariants are probed.  Exit code 1 if any invariant was
+    violated, so a failing seed turns into a failing CI step; rerunning
+    with the same ``--seed`` replays the byte-identical schedule.
+    """
+    from repro.chaos import ScenarioConfig, SoakConfig, run_soak
+
+    config = SoakConfig(
+        seed=args.seed,
+        duration_s=args.duration,
+        num_chains=args.chains,
+        scenario=ScenarioConfig(
+            duration_s=args.duration, partition=args.partition
+        ),
+    )
+    report = run_soak(config)
+    output = report.to_json() if args.json else report.render()
+    print(output)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json() + "\n")
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -448,6 +474,18 @@ def build_parser() -> argparse.ArgumentParser:
         "already beats the monolithic solve)",
     )
     p.set_defaults(func=_cmd_scale)
+
+    p = sub.add_parser(
+        "chaos", help="seeded fault-injection soak with invariant checking"
+    )
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument("--chains", type=int, default=8)
+    p.add_argument("--partition", action="store_true",
+                   help="include a network partition in the schedule")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--out", help="also write the JSON report to a file")
+    p.set_defaults(func=_cmd_chaos)
     return parser
 
 

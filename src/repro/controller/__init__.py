@@ -18,7 +18,13 @@
 
 from repro.controller.audit import audit_chain, audit_deployment
 from repro.controller.chainspec import ChainSpecification
-from repro.controller.failures import FailureReport, fail_site, restore_site
+from repro.controller.failures import (
+    FailureReport,
+    fail_link,
+    fail_site,
+    restore_link,
+    restore_site,
+)
 from repro.controller.global_switchboard import (
     ChainInstallation,
     GlobalSwitchboard,
@@ -64,7 +70,9 @@ __all__ = [
     "ReoptimizationReport",
     "ReplicatedStore",
     "checkpoint_installation",
+    "fail_link",
     "fail_site",
+    "restore_link",
     "reoptimize",
     "restore_installations",
     "restore_site",

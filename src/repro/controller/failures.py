@@ -15,8 +15,12 @@ Switchboard:
    site keep their affinity (Section 5.3 semantics); connections through
    the failed site are the ones that must re-establish.
 
-Link failures are handled at the topology level (recompute the backbone
-without the link and re-route), exercised by the failure-recovery bench.
+Link failures get the same first-class treatment via :func:`fail_link`:
+the failed node pair's propagation delay becomes infinite (so the DP
+cost function can never pick a route across it), every installed chain
+with a stage hop over the pair is rolled back and recomputed on the
+surviving topology, and :func:`restore_link` reinstates the stored
+delay.  Both failure kinds return a :class:`FailureReport`.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from repro.core.model import CloudSite, VNF
 from repro.controller.global_switchboard import GlobalSwitchboard
 
 _EPS = 1e-9
+_INF = float("inf")
 
 
 class FailureError(Exception):
@@ -35,9 +40,12 @@ class FailureError(Exception):
 
 @dataclass
 class FailureReport:
-    """Outcome of a site-failure recovery."""
+    """Outcome of a site- or link-failure recovery."""
 
+    #: the failed target: a site name, or ``"n1<->n2"`` for a link.
     site: str
+    #: ``"site"`` or ``"link"``.
+    kind: str = "site"
     #: chains that had traffic through the failed site.
     affected_chains: list[str] = field(default_factory=list)
     #: chain -> carried fraction before the failure.
@@ -115,6 +123,14 @@ def fail_site(gs: GlobalSwitchboard, site: str) -> FailureReport:
             service.site_capacity[site] = 0.0
 
     # (2) Roll back and recompute each affected chain.
+    _reroute_affected(gs, report)
+    return report
+
+
+def _reroute_affected(gs: GlobalSwitchboard, report: FailureReport) -> None:
+    """Roll back and recompute every chain in ``report.affected_chains``
+    on whatever capacity and topology survive, filling in
+    ``carried_after`` (shared by site- and link-failure recovery)."""
     for name in report.affected_chains:
         installation = gs.installations[name]
         # Release the chain's committed capacity at every site (a full
@@ -140,7 +156,6 @@ def fail_site(gs: GlobalSwitchboard, site: str) -> FailureReport:
                 local.remove_chain_rules(
                     installation.label, installation.egress_site
                 )
-    return report
 
 
 def restore_site(
@@ -170,3 +185,97 @@ def restore_site(
         if service is not None:
             service.site_capacity[site] = capacity
             service._committed.setdefault(site, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Link failures (first-class, symmetric to site failures)
+# ---------------------------------------------------------------------------
+
+
+def _link_nodes(gs: GlobalSwitchboard, a: str, b: str) -> tuple[str, str]:
+    """Resolve two endpoints (site or node names) to an existing
+    backbone node pair."""
+    n1 = gs.model.endpoint_node(a)
+    n2 = gs.model.endpoint_node(b)
+    if n1 == n2:
+        raise FailureError(f"{a!r} and {b!r} are the same node")
+    try:
+        gs.model.latency(n1, n2)
+    except Exception:
+        raise FailureError(f"no link {a!r} <-> {b!r}") from None
+    return n1, n2
+
+
+def chains_through_link(gs: GlobalSwitchboard, a: str, b: str) -> list[str]:
+    """Installed chains with any stage hop crossing the node pair
+    ``a <-> b`` (in either direction)."""
+    n1, n2 = _link_nodes(gs, a, b)
+    pair = {n1, n2}
+    affected = []
+    for name in gs.installations:
+        chain = gs.model.chains[name]
+        for z in range(1, chain.num_stages + 1):
+            if any(
+                {
+                    gs.model.endpoint_node(src),
+                    gs.model.endpoint_node(dst),
+                } == pair
+                for (src, dst) in gs.router.solution.stage_flows(name, z)
+            ):
+                affected.append(name)
+                break
+    return affected
+
+
+def fail_link(gs: GlobalSwitchboard, a: str, b: str) -> FailureReport:
+    """Fail the backbone link between two nodes (or sites) and re-route
+    every chain with a stage hop across it.
+
+    The pair's one-way delay becomes infinite in both directions, which
+    makes every route over it cost-infeasible for the DP (and keeps the
+    model consistent: the nodes still exist, traffic just cannot cross).
+    The previous delay entries are stashed on the controller so
+    :func:`restore_link` can reinstate them.
+    """
+    n1, n2 = _link_nodes(gs, a, b)
+    stash: dict[tuple[str, str], float | None] | None = getattr(
+        gs, "_failed_links", None
+    )
+    if stash is None:
+        stash = {}
+        gs._failed_links = stash
+    for key in ((n1, n2), (n2, n1)):
+        if key not in stash:  # idempotent re-fail keeps the original
+            stash[key] = gs.model._latency.get(key)
+        gs.model._latency[key] = _INF
+
+    report = FailureReport(f"{n1}<->{n2}", kind="link")
+    report.affected_chains = chains_through_link(gs, n1, n2)
+    for name in report.affected_chains:
+        report.carried_before[name] = gs.router.solution.routed_fraction(name)
+    _reroute_affected(gs, report)
+    return report
+
+
+def restore_link(gs: GlobalSwitchboard, a: str, b: str) -> None:
+    """Reinstate a failed link's stored delay.
+
+    As with :func:`restore_site`, installed chains are not re-balanced
+    automatically -- call ``extend_chain`` (or run a re-optimization
+    round) for the chains that should use the restored shortcut.
+    """
+    n1, n2 = _link_nodes(gs, a, b)
+    stash: dict[tuple[str, str], float | None] = getattr(
+        gs, "_failed_links", {}
+    )
+    restored = False
+    for key in ((n1, n2), (n2, n1)):
+        if key in stash:
+            previous = stash.pop(key)
+            if previous is None:
+                gs.model._latency.pop(key, None)
+            else:
+                gs.model._latency[key] = previous
+            restored = True
+    if not restored:
+        raise FailureError(f"link {a!r} <-> {b!r} is not failed")

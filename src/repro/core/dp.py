@@ -201,9 +201,13 @@ class _DpRouter:
         for n1 in nodes:
             for n2 in nodes:
                 try:
-                    diameter = max(diameter, self.model.latency(n1, n2))
+                    d = self.model.latency(n1, n2)
                 except Exception:
                     continue
+                # A failed link's delay is infinite (repro.chaos); the
+                # utilization weight must stay finite regardless.
+                if d != _INF:
+                    diameter = max(diameter, d)
         penalty_at_full = self.config.penalty(1.0)
         if diameter <= 0 or penalty_at_full <= 0:
             return 1.0

@@ -13,12 +13,22 @@ topology from full-mesh broadcast in Figure 9: broadcast serializes one
 copy per subscriber through the publisher's uplink, so its queueing delay
 explodes and buffers overflow, while the proxy topology sends one copy
 per *site*.
+
+Fault primitives (used by :mod:`repro.chaos`): links can be failed and
+restored, given a loss probability or a propagation-delay degradation
+multiplier; hosts can crash and restart; the network can be partitioned
+into host groups.  Every message lost to a fault is counted as a *drop*
+on its link (with a per-reason counter), so the accounting invariant
+``sent == delivered + dropped + in_flight`` keeps holding under any
+fault schedule -- that is what lets :mod:`repro.chaos.invariants` check
+conservation continuously while faults play.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, TYPE_CHECKING
+from typing import Any, Callable, Iterable, Sequence, TYPE_CHECKING
 
 from repro.simnet.events import Simulator
 
@@ -103,6 +113,13 @@ class _LinkState:
     # and dropped counters), created lazily on first use so links on an
     # un-instrumented network pay nothing.
     obs: tuple | None = None
+    # -- fault state (repro.chaos) ------------------------------------
+    up: bool = True
+    #: Probability a message on the link is lost (sampled at send time
+    #: from the network's fault RNG).
+    loss: float = 0.0
+    #: Propagation-delay multiplier (>= 1 models degradation).
+    delay_multiplier: float = 1.0
 
 
 class Host:
@@ -125,9 +142,13 @@ class Host:
         """Register ``callback(sender_name, payload)`` for incoming messages."""
         self._receiver = callback
 
-    def send(self, dst: str, payload: Any, size_bytes: int = 1000) -> bool:
+    def send(
+        self, dst: str, payload: Any, size_bytes: int = 1000,
+        strict: bool = True,
+    ) -> bool:
         """Send ``payload`` to host ``dst``.  Returns False if dropped."""
-        return self.network.send(self.name, dst, payload, size_bytes)
+        return self.network.send(self.name, dst, payload, size_bytes,
+                                 strict=strict)
 
     def _deliver(self, sender: str, payload: Any) -> None:
         self.received.append((self.network.sim.now, sender, payload))
@@ -135,16 +156,27 @@ class Host:
             self._receiver(sender, payload)
 
     def _deliver_from_link(
-        self, stats: "LinkStats", size_bytes: int, sender: str, payload: Any
+        self, state: "_LinkState", size_bytes: int, sender: str, payload: Any
     ) -> None:
         """Delivery event for un-instrumented networks: count the
         message against its link *now* (not at send time), then deliver.
         One call frame instead of two keeps the common metrics-off
         configuration at seed-level speed; the instrumented twin is
-        :meth:`SimNetwork._complete_delivery`."""
+        :meth:`SimNetwork._complete_delivery`.
+
+        A message still crossing a link when the link fails or the
+        destination crashes is accounted as a drop at its (would-be)
+        delivery time -- never as a delivery -- so link conservation
+        survives mid-flight faults."""
+        network = self.network
+        if not state.up or self.name in network._crashed:
+            network._count_drop(state, size_bytes, sender, self.name,
+                                "in_flight")
+            return
+        stats = state.stats
         stats.delivered += 1
         stats.bytes_delivered += size_bytes
-        self.received.append((self.network.sim.now, sender, payload))
+        self.received.append((network.sim.now, sender, payload))
         if self._receiver is not None:
             self._receiver(sender, payload)
 
@@ -167,6 +199,17 @@ class SimNetwork:
         self.default_link: LinkSpec | None = None
         #: Optional observability sink; ``None`` keeps hot paths free.
         self.metrics = metrics
+        # -- fault state (repro.chaos) --------------------------------
+        self._crashed: set[str] = set()
+        #: host -> partition group id; hosts in different groups cannot
+        #: communicate.  ``None`` means no partition is active.
+        self._partition: dict[str, int] | None = None
+        #: Seeded RNG for loss sampling; set it explicitly (or via the
+        #: constructor of the chaos engine) for reproducible runs.
+        self._fault_rng: random.Random | None = None
+        #: Network-wide drop counts by reason (kept even without a
+        #: metrics registry so invariants stay checkable everywhere).
+        self.drop_reasons: dict[str, int] = {}
 
     def _link_obs(self, state: _LinkState, src: str, dst: str) -> tuple:
         """Per-link metric handles, created once per link."""
@@ -223,6 +266,133 @@ class SimNetwork:
             raise NetworkError(f"no link {src!r} -> {dst!r}")
         return state.stats
 
+    # -- fault primitives (repro.chaos) --------------------------------
+
+    def set_fault_rng(self, rng: random.Random) -> None:
+        """Install the seeded RNG that samples probabilistic loss."""
+        self._fault_rng = rng
+
+    def _fault_states(
+        self, src: str, dst: str, bidirectional: bool
+    ) -> list[_LinkState]:
+        """Link states a fault applies to; lazily materializes
+        site-local/default links (the same links :meth:`send` would use)
+        so faults on them take effect."""
+        pairs = [(src, dst)] + ([(dst, src)] if bidirectional else [])
+        states = []
+        for a, b in pairs:
+            if a not in self._hosts or b not in self._hosts:
+                raise NetworkError(f"unknown host in link {a!r} -> {b!r}")
+            state = self._resolve_link(a, b)
+            if state is not None:
+                states.append(state)
+        if not states:
+            raise NetworkError(f"no link {src!r} <-> {dst!r}")
+        return states
+
+    def fail_link(self, src: str, dst: str, bidirectional: bool = True) -> None:
+        """Take a link down: subsequent sends and in-flight messages on
+        it are counted as drops until :meth:`restore_link`."""
+        for state in self._fault_states(src, dst, bidirectional):
+            state.up = False
+
+    def restore_link(
+        self, src: str, dst: str, bidirectional: bool = True
+    ) -> None:
+        for state in self._fault_states(src, dst, bidirectional):
+            state.up = True
+
+    def link_is_up(self, src: str, dst: str) -> bool:
+        state = self._links.get((src, dst))
+        if state is None:
+            raise NetworkError(f"no link {src!r} -> {dst!r}")
+        return state.up
+
+    def set_link_loss(
+        self, src: str, dst: str, probability: float,
+        bidirectional: bool = True,
+    ) -> None:
+        """Per-message loss probability, sampled from the fault RNG."""
+        if not 0.0 <= probability <= 1.0:
+            raise NetworkError(f"loss probability out of range: {probability}")
+        if probability > 0.0 and self._fault_rng is None:
+            self._fault_rng = random.Random(0)
+        for state in self._fault_states(src, dst, bidirectional):
+            state.loss = probability
+
+    def set_link_degradation(
+        self, src: str, dst: str, delay_multiplier: float,
+        bidirectional: bool = True,
+    ) -> None:
+        """Scale a link's propagation delay (1.0 restores nominal)."""
+        if delay_multiplier < 0:
+            raise NetworkError(
+                f"negative delay multiplier {delay_multiplier}"
+            )
+        for state in self._fault_states(src, dst, bidirectional):
+            state.delay_multiplier = delay_multiplier
+
+    def crash_host(self, name: str) -> None:
+        """Crash a host: messages to or from it are counted as drops and
+        its receive callback never fires, until :meth:`restart_host`."""
+        if name not in self._hosts:
+            raise NetworkError(f"unknown host {name!r}")
+        self._crashed.add(name)
+
+    def restart_host(self, name: str) -> None:
+        """Bring a crashed host back (its registered callback resumes;
+        host-level state is whatever the owner kept, mirroring a
+        stateless process restart)."""
+        if name not in self._hosts:
+            raise NetworkError(f"unknown host {name!r}")
+        self._crashed.discard(name)
+
+    def host_is_up(self, name: str) -> bool:
+        if name not in self._hosts:
+            raise NetworkError(f"unknown host {name!r}")
+        return name not in self._crashed
+
+    def partition(self, groups: Sequence[Iterable[str]]) -> None:
+        """Partition the network into host groups: messages between
+        hosts in *different* groups are dropped; hosts in no group are
+        unrestricted.  Replaces any active partition."""
+        mapping: dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for host in group:
+                if host not in self._hosts:
+                    raise NetworkError(f"unknown host {host!r} in partition")
+                mapping[host] = index
+        self._partition = mapping
+
+    def heal_partition(self) -> None:
+        self._partition = None
+
+    def _cut_by_partition(self, src: str, dst: str) -> bool:
+        if self._partition is None:
+            return False
+        g1 = self._partition.get(src)
+        g2 = self._partition.get(dst)
+        return g1 is not None and g2 is not None and g1 != g2
+
+    def _count_drop(
+        self, state: _LinkState, size_bytes: int, src: str, dst: str,
+        reason: str,
+    ) -> None:
+        """Account one fault-dropped message on its link (plus the
+        per-reason network tally and, when instrumented, a
+        ``link.dropped_<reason>`` counter)."""
+        stats = state.stats
+        stats.dropped += 1
+        stats.bytes_dropped += size_bytes
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+        if self.metrics is not None:
+            obs = self._link_obs(state, src, dst)
+            obs[3].inc()
+            obs[4].inc(size_bytes)
+            self.metrics.counter(
+                f"link.dropped_{reason}", link=f"{src}->{dst}"
+            ).inc()
+
     # -- transmission --------------------------------------------------
 
     def _resolve_link(self, src: str, dst: str) -> _LinkState | None:
@@ -242,13 +412,34 @@ class SimNetwork:
             return state
         return None
 
-    def send(self, src: str, dst: str, payload: Any, size_bytes: int = 1000) -> bool:
-        """Send a message; returns False if it was dropped at the queue."""
+    def send(
+        self, src: str, dst: str, payload: Any, size_bytes: int = 1000,
+        strict: bool = True,
+    ) -> bool:
+        """Send a message; returns False if it was dropped.
+
+        ``strict=False`` turns a send to an *unknown* destination host
+        into an accounted drop instead of a :class:`NetworkError` -- the
+        bus uses this so a fault scenario that crashes or removes a
+        proxy degrades into drop counters rather than an exception from
+        deep inside the event loop.  Sends from an unknown *source* are
+        always errors (the caller itself is misconfigured)."""
         if src not in self._hosts:
             raise NetworkError(f"unknown host {src!r}")
         dst_host = self._hosts.get(dst)
         if dst_host is None:
-            raise NetworkError(f"unknown host {dst!r}")
+            if strict:
+                raise NetworkError(f"unknown host {dst!r}")
+            # No link exists to account the drop against; tally it
+            # network-wide under the same reason a crashed host uses.
+            self.drop_reasons["dst_down"] = (
+                self.drop_reasons.get("dst_down", 0) + 1
+            )
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "link.dropped_dst_down", link=f"{src}->{dst}"
+                ).inc()
+            return False
         if size_bytes <= 0:
             raise NetworkError(f"non-positive message size {size_bytes}")
         state = self._resolve_link(src, dst)
@@ -259,19 +450,41 @@ class SimNetwork:
         stats.sent += 1
         stats.bytes_sent += size_bytes
 
+        # Fault checks, in blast-radius order: a crashed endpoint kills
+        # every link of the host, a down link only itself.  Each drop is
+        # accounted on this link so conservation holds.
+        if src in self._crashed:
+            self._count_drop(state, size_bytes, src, dst, "src_down")
+            return False
+        if dst in self._crashed:
+            self._count_drop(state, size_bytes, src, dst, "dst_down")
+            return False
+        if not state.up:
+            self._count_drop(state, size_bytes, src, dst, "link_down")
+            return False
+        if self._cut_by_partition(src, dst):
+            self._count_drop(state, size_bytes, src, dst, "partition")
+            return False
+        if state.loss > 0.0 and self._fault_rng is not None and (
+            self._fault_rng.random() < state.loss
+        ):
+            self._count_drop(state, size_bytes, src, dst, "loss")
+            return False
+
         now = self.sim.now
+        delay = spec.delay_s * state.delay_multiplier
         if spec.bandwidth_bps is None:
             # Infinite bandwidth: no queueing, no serialization, and (by
             # LinkSpec validation) no buffer to overflow.
             if self.metrics is None:
                 self.sim.schedule(
-                    spec.delay_s,
-                    dst_host._deliver_from_link, stats, size_bytes, src,
+                    delay,
+                    dst_host._deliver_from_link, state, size_bytes, src,
                     payload,
                 )
             else:
                 self.sim.schedule(
-                    spec.delay_s,
+                    delay,
                     self._complete_delivery, state, src, dst_host, payload,
                     size_bytes,
                 )
@@ -300,12 +513,12 @@ class SimNetwork:
         self.sim.schedule_at(done, self._drain, state, size_bytes)
         if self.metrics is None:
             self.sim.schedule_at(
-                done + spec.delay_s,
-                dst_host._deliver_from_link, stats, size_bytes, src, payload,
+                done + delay,
+                dst_host._deliver_from_link, state, size_bytes, src, payload,
             )
         else:
             self.sim.schedule_at(
-                done + spec.delay_s,
+                done + delay,
                 self._complete_delivery, state, src, dst_host, payload,
                 size_bytes,
             )
@@ -328,7 +541,13 @@ class SimNetwork:
         """Delivery event: count the message delivered *now*, then hand
         it to the destination host.  Counting here (rather than at send
         time) keeps ``LinkStats.delivered`` honest when the simulator
-        stops with messages still in flight."""
+        stops with messages still in flight.  A message whose link went
+        down or whose destination crashed while it was crossing becomes
+        a drop instead."""
+        if not state.up or dst_host.name in self._crashed:
+            self._count_drop(state, size_bytes, src, dst_host.name,
+                             "in_flight")
+            return
         stats = state.stats
         stats.delivered += 1
         stats.bytes_delivered += size_bytes

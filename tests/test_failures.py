@@ -8,11 +8,17 @@ from repro.controller import (
     ChainSpecification,
     GlobalSwitchboard,
     LocalSwitchboard,
+    fail_link,
     fail_site,
     reoptimize,
+    restore_link,
     restore_site,
 )
-from repro.controller.failures import FailureError, chains_through_site
+from repro.controller.failures import (
+    FailureError,
+    chains_through_link,
+    chains_through_site,
+)
 from repro.core.model import CloudSite, NetworkModel, VNF
 from repro.dataplane import DataPlane, FiveTuple, Packet
 from repro.edge import EdgeController, EdgeInstance
@@ -142,6 +148,98 @@ class TestSiteFailure:
         restore_site(gs, "A", site_capacity=100.0, vnf_capacity={"fw": 10.0})
         gained = gs.extend_chain("c1")
         assert gained > 0
+        assert gs.installations["c1"].routed_fraction == pytest.approx(1.0)
+
+
+class TestLinkFailure:
+    """fail_link is the first-class twin of fail_site: infinite delay on
+    the pair, affected chains rolled back and recomputed, restorable."""
+
+    @staticmethod
+    def used_link(gs):
+        """The backbone link chain c1 crosses, plus a surviving site."""
+        site = next(
+            dst for (_s, dst) in gs.router.solution.stage_flows("c1", 1)
+        )
+        if site == "B":
+            return ("a", "b"), "A"
+        return ("a", "c"), "B"
+
+    def test_affected_chains_identified(self):
+        gs, *_ = build_deployment()
+        gs.create_chain(spec("c1"))
+        link, _other = self.used_link(gs)
+        assert chains_through_link(gs, *link) == ["c1"]
+        unused = ("a", "b") if link == ("a", "c") else ("a", "c")
+        assert chains_through_link(gs, *unused) == []
+
+    def test_chain_rerouted_around_failed_link(self):
+        gs, service, ingress, egress = build_deployment()
+        gs.create_chain(spec("c1"))
+        link, other = self.used_link(gs)
+        report = fail_link(gs, *link)
+        assert report.kind == "link"
+        assert report.site == f"{link[0]}<->{link[1]}"
+        assert report.affected_chains == ["c1"]
+        assert report.carried_after["c1"] == pytest.approx(1.0)
+        # The new route avoids the dead pair entirely.
+        assert chains_through_link(gs, *link) == []
+        assert service.committed(other) > 0
+        assert service.pending_reservations() == 0
+        # Delay on the pair is now infinite in both directions.
+        assert gs.model.latency(*link) == float("inf")
+        assert gs.model.latency(link[1], link[0]) == float("inf")
+
+    def test_site_names_resolve_to_nodes(self):
+        gs, *_ = build_deployment()
+        gs.create_chain(spec("c1"))
+        report = fail_link(gs, "A", "B")
+        assert report.site == "a<->b"
+        restore_link(gs, "A", "B")
+        assert gs.model.latency("a", "b") == pytest.approx(10.0)
+
+    def test_unrecoverable_when_only_deployment_behind_link(self):
+        gs, *_ = build_deployment(cap_a=0.0, cap_b=40.0)
+        gs.create_chain(spec("c1"))
+        report = fail_link(gs, "a", "b")
+        assert report.degraded == ["c1"]
+        assert report.carried_after["c1"] == 0.0
+
+    def test_restore_link_enables_extension(self):
+        gs, *_ = build_deployment(cap_a=0.0, cap_b=40.0)
+        gs.create_chain(spec("c1"))
+        fail_link(gs, "a", "b")
+        assert gs.installations["c1"].routed_fraction == 0.0
+        restore_link(gs, "a", "b")
+        assert gs.model.latency("a", "b") == pytest.approx(10.0)
+        assert gs.extend_chain("c1") > 0
+        assert gs.installations["c1"].routed_fraction == pytest.approx(1.0)
+
+    def test_idempotent_refail_keeps_original_delay(self):
+        gs, *_ = build_deployment()
+        fail_link(gs, "a", "b")
+        fail_link(gs, "a", "b")  # re-fail: original delay stays stashed
+        restore_link(gs, "a", "b")
+        assert gs.model.latency("a", "b") == pytest.approx(10.0)
+        with pytest.raises(FailureError):
+            restore_link(gs, "a", "b")
+
+    def test_invalid_pairs_rejected(self):
+        gs, *_ = build_deployment()
+        with pytest.raises(FailureError):
+            fail_link(gs, "a", "a")
+        with pytest.raises(FailureError):
+            fail_link(gs, "a", "nowhere")
+        with pytest.raises(FailureError):
+            restore_link(gs, "a", "b")  # never failed
+
+    def test_unaffected_chain_untouched(self):
+        gs, *_ = build_deployment()
+        gs.create_chain(spec("c1"))
+        link, _other = self.used_link(gs)
+        unused = ("a", "b") if link == ("a", "c") else ("a", "c")
+        report = fail_link(gs, *unused)
+        assert report.affected_chains == []
         assert gs.installations["c1"].routed_fraction == pytest.approx(1.0)
 
 

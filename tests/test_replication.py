@@ -133,6 +133,68 @@ class TestLeaderLease:
         assert store.leader(now=5.0) == "gs-1"
 
 
+class TestLeaseEdgeCases:
+    """Boundary semantics: a lease is held on the half-open window
+    ``[granted, expires)`` -- at the expiry instant itself the lease is
+    already gone, so takeover at exactly ``expires_at`` is legal and
+    cannot overlap the old window."""
+
+    def test_expiry_exactly_at_now(self):
+        store = ReplicatedStore(REPLICAS)
+        store.acquire_lease("gs-1", now=0.0, duration=10.0)
+        assert store.leader(now=10.0) is None  # expired at the boundary
+        assert store.acquire_lease("gs-2", now=10.0, duration=10.0)
+        assert store.leader(now=10.0 + 1e-9) == "gs-2"
+
+    def test_leader_just_before_expiry(self):
+        store = ReplicatedStore(REPLICAS)
+        store.acquire_lease("gs-1", now=0.0, duration=10.0)
+        assert store.leader(now=10.0 - 1e-9) == "gs-1"
+        assert not store.acquire_lease("gs-2", now=10.0 - 1e-9,
+                                       duration=10.0)
+
+    def test_failover_after_quorum_loss_and_recovery(self):
+        """Quorum loss makes lease operations fail loudly (never a
+        silent split-brain); after recovery the standby takes over once
+        the old lease has expired."""
+        store = ReplicatedStore(REPLICAS)
+        store.acquire_lease("gs-1", now=0.0, duration=10.0)
+        store.fail("nyc")
+        store.fail("chi")
+        with pytest.raises(ReplicationError):
+            store.acquire_lease("gs-1", now=5.0, duration=10.0)
+        with pytest.raises(ReplicationError):
+            store.leader(now=5.0)
+        store.recover("chi")
+        # Quorum is back but the original lease still holds.
+        assert not store.acquire_lease("gs-2", now=6.0, duration=10.0)
+        assert store.leader(now=6.0) == "gs-1"
+        # After expiry (the leader could not renew) the standby wins.
+        assert store.acquire_lease("gs-2", now=10.0, duration=10.0)
+        assert store.leader(now=11.0) == "gs-2"
+
+    def test_release_by_non_owner_does_not_unlock(self):
+        store = ReplicatedStore(REPLICAS)
+        store.acquire_lease("gs-1", now=0.0, duration=10.0)
+        store.release_lease("gs-2")  # not the owner: ignored
+        assert not store.acquire_lease("gs-2", now=1.0, duration=10.0)
+        assert store.leader(now=1.0) == "gs-1"
+
+    def test_release_of_expired_lease_is_harmless(self):
+        store = ReplicatedStore(REPLICAS)
+        store.acquire_lease("gs-1", now=0.0, duration=5.0)
+        store.release_lease("gs-1")  # owner releases after use
+        store.release_lease("gs-1")  # double release: no effect
+        assert store.leader(now=1.0) is None
+        assert store.acquire_lease("gs-2", now=1.0, duration=5.0)
+
+    def test_reacquire_own_expired_lease(self):
+        store = ReplicatedStore(REPLICAS)
+        store.acquire_lease("gs-1", now=0.0, duration=5.0)
+        assert store.acquire_lease("gs-1", now=7.0, duration=5.0)
+        assert store.leader(now=8.0) == "gs-1"
+
+
 def make_installation(name="corp", label=7) -> ChainInstallation:
     spec = ChainSpecification(
         name, "vpn", "in", "out", ["fw", "nat"],

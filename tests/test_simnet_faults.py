@@ -1,0 +1,304 @@
+"""Tests for the simnet fault primitives and their drop accounting.
+
+The contract under test: every message lost to a fault (downed link,
+crashed host, partition, probabilistic loss, or a mid-flight fault) is
+counted as a *drop* on its link, so ``sent == delivered + dropped +
+in_flight`` holds at any simulated time under any fault schedule.
+"""
+
+import random
+
+import pytest
+
+from repro.simnet.events import Simulator
+from repro.simnet.network import LinkSpec, NetworkError, SimNetwork
+
+
+def make_net(delay_s=0.01):
+    sim = Simulator()
+    net = SimNetwork(sim)
+    net.add_host("a")
+    net.add_host("b")
+    net.connect("a", "b", LinkSpec(delay_s=delay_s))
+    return net
+
+
+def conserved(stats):
+    return (
+        stats.delivered + stats.dropped + stats.in_flight == stats.sent
+        and stats.in_flight >= 0
+    )
+
+
+class TestLinkFailure:
+    def test_down_link_drops_sends(self):
+        net = make_net()
+        net.fail_link("a", "b")
+        assert net.send("a", "b", "x") is False
+        net.run()
+        stats = net.link_stats("a", "b")
+        assert stats.sent == 1 and stats.dropped == 1
+        assert stats.delivered == 0
+        assert net.drop_reasons == {"link_down": 1}
+        assert conserved(stats)
+
+    def test_restore_resumes_delivery(self):
+        net = make_net()
+        net.fail_link("a", "b")
+        net.send("a", "b", "lost")
+        net.restore_link("a", "b")
+        assert net.send("a", "b", "ok") is True
+        net.run()
+        assert net.host("b").received[-1][2] == "ok"
+        assert conserved(net.link_stats("a", "b"))
+
+    def test_in_flight_message_becomes_drop(self):
+        """A message crossing the link when it fails must not be
+        delivered -- it is accounted as an in-flight drop."""
+        net = make_net(delay_s=1.0)
+        assert net.send("a", "b", "doomed") is True
+        net.sim.schedule(0.5, net.fail_link, "a", "b")
+        net.run()
+        stats = net.link_stats("a", "b")
+        assert stats.delivered == 0 and stats.dropped == 1
+        assert net.drop_reasons == {"in_flight": 1}
+        assert not net.host("b").received
+        assert conserved(stats)
+
+    def test_bidirectional_by_default(self):
+        net = make_net()
+        net.fail_link("a", "b")
+        assert not net.link_is_up("a", "b")
+        assert not net.link_is_up("b", "a")
+        net.restore_link("a", "b", bidirectional=False)
+        assert net.link_is_up("a", "b")
+        assert not net.link_is_up("b", "a")
+
+    def test_unknown_link_rejected(self):
+        net = make_net()
+        net.add_host("c")
+        with pytest.raises(NetworkError):
+            net.fail_link("a", "c")
+
+    def test_site_local_link_materialized_for_fault(self):
+        """Faults reach the lazily-created site-local links too."""
+        sim = Simulator()
+        net = SimNetwork(sim)
+        net.add_host("x", site="S")
+        net.add_host("y", site="S")
+        net.fail_link("x", "y")
+        assert net.send("x", "y", "m") is False
+        assert net.drop_reasons == {"link_down": 1}
+
+
+class TestHostCrash:
+    def test_send_to_crashed_host_dropped(self):
+        net = make_net()
+        net.crash_host("b")
+        assert net.send("a", "b", "x") is False
+        stats = net.link_stats("a", "b")
+        assert stats.dropped == 1
+        assert net.drop_reasons == {"dst_down": 1}
+        assert conserved(stats)
+
+    def test_send_from_crashed_host_dropped(self):
+        net = make_net()
+        net.crash_host("a")
+        assert net.send("a", "b", "x") is False
+        assert net.drop_reasons == {"src_down": 1}
+
+    def test_restart_resumes(self):
+        net = make_net()
+        net.crash_host("b")
+        assert not net.host_is_up("b")
+        net.send("a", "b", "lost")
+        net.restart_host("b")
+        assert net.host_is_up("b")
+        net.send("a", "b", "ok")
+        net.run()
+        assert [p for (_, _, p) in net.host("b").received] == ["ok"]
+
+    def test_crash_during_flight_drops(self):
+        net = make_net(delay_s=1.0)
+        net.send("a", "b", "doomed")
+        net.sim.schedule(0.5, net.crash_host, "b")
+        net.run()
+        stats = net.link_stats("a", "b")
+        assert stats.delivered == 0 and stats.dropped == 1
+        assert net.drop_reasons == {"in_flight": 1}
+        assert conserved(stats)
+
+    def test_receiver_callback_not_fired_while_crashed(self):
+        net = make_net()
+        seen = []
+        net.host("b").on_receive(lambda s, p: seen.append(p))
+        net.crash_host("b")
+        net.send("a", "b", "x")
+        net.run()
+        assert seen == []
+
+    def test_unknown_host_rejected(self):
+        net = make_net()
+        with pytest.raises(NetworkError):
+            net.crash_host("ghost")
+
+
+class TestLossAndDegradation:
+    def test_seeded_loss_is_deterministic(self):
+        def run(seed):
+            net = make_net()
+            net.set_fault_rng(random.Random(seed))
+            net.set_link_loss("a", "b", 0.5)
+            for i in range(50):
+                net.send("a", "b", i)
+            net.run()
+            return net.link_stats("a", "b").dropped
+
+        assert run(7) == run(7)
+        assert 0 < run(7) < 50
+        # Different seeds may coincide by chance; the property under
+        # test is same-seed reproducibility only.
+
+    def test_zero_loss_delivers_everything(self):
+        net = make_net()
+        net.set_fault_rng(random.Random(1))
+        net.set_link_loss("a", "b", 0.5)
+        net.set_link_loss("a", "b", 0.0)
+        for i in range(20):
+            net.send("a", "b", i)
+        net.run()
+        stats = net.link_stats("a", "b")
+        assert stats.delivered == 20 and stats.dropped == 0
+
+    def test_invalid_probability_rejected(self):
+        net = make_net()
+        with pytest.raises(NetworkError):
+            net.set_link_loss("a", "b", 1.5)
+
+    def test_loss_drops_are_accounted(self):
+        net = make_net()
+        net.set_fault_rng(random.Random(3))
+        net.set_link_loss("a", "b", 1.0)
+        net.send("a", "b", "x")
+        assert net.drop_reasons == {"loss": 1}
+        assert conserved(net.link_stats("a", "b"))
+
+    def test_degradation_scales_delay(self):
+        net = make_net(delay_s=0.01)
+        net.set_link_degradation("a", "b", 4.0)
+        net.send("a", "b", "slow")
+        net.run()
+        assert net.host("b").received[0][0] == pytest.approx(0.04)
+        net.set_link_degradation("a", "b", 1.0)
+        net.send("a", "b", "fast")
+        net.run()
+        assert net.host("b").received[1][0] == pytest.approx(0.04 + 0.01)
+
+    def test_negative_multiplier_rejected(self):
+        net = make_net()
+        with pytest.raises(NetworkError):
+            net.set_link_degradation("a", "b", -1.0)
+
+
+class TestPartition:
+    def make(self):
+        sim = Simulator()
+        net = SimNetwork(sim)
+        for name in ("a", "b", "c"):
+            net.add_host(name)
+        net.connect("a", "b", LinkSpec(delay_s=0.01))
+        net.connect("a", "c", LinkSpec(delay_s=0.01))
+        net.connect("b", "c", LinkSpec(delay_s=0.01))
+        return net
+
+    def test_cross_group_dropped_same_group_delivered(self):
+        net = self.make()
+        net.partition([["a"], ["b", "c"]])
+        assert net.send("a", "b", "cut") is False
+        assert net.send("b", "c", "ok") is True
+        net.run()
+        assert net.drop_reasons == {"partition": 1}
+        assert conserved(net.link_stats("a", "b"))
+
+    def test_unlisted_host_unrestricted(self):
+        net = self.make()
+        net.partition([["a"], ["b"]])
+        assert net.send("a", "c", "ok") is True
+        assert net.send("c", "b", "ok") is True
+
+    def test_heal_restores(self):
+        net = self.make()
+        net.partition([["a"], ["b"]])
+        net.heal_partition()
+        assert net.send("a", "b", "ok") is True
+
+    def test_unknown_host_in_partition_rejected(self):
+        net = self.make()
+        with pytest.raises(NetworkError):
+            net.partition([["a", "ghost"]])
+
+
+class TestStrictSend:
+    def test_strict_unknown_destination_raises(self):
+        net = make_net()
+        with pytest.raises(NetworkError):
+            net.send("a", "ghost", "x")
+
+    def test_lenient_unknown_destination_counts_drop(self):
+        net = make_net()
+        assert net.send("a", "ghost", "x", strict=False) is False
+        assert net.drop_reasons == {"dst_down": 1}
+
+    def test_unknown_source_always_raises(self):
+        net = make_net()
+        with pytest.raises(NetworkError):
+            net.send("ghost", "b", "x", strict=False)
+
+
+class TestConservationUnderChaos:
+    def test_ledger_balances_under_random_fault_schedule(self):
+        """Sustained random faults + traffic: after the queue drains,
+        every link's ledger balances exactly."""
+        rng = random.Random(99)
+        sim = Simulator()
+        net = SimNetwork(sim)
+        hosts = ["h0", "h1", "h2", "h3"]
+        for name in hosts:
+            net.add_host(name)
+        for i, a in enumerate(hosts):
+            for b in hosts[i + 1:]:
+                net.connect(a, b, LinkSpec(delay_s=0.02))
+        net.set_fault_rng(random.Random(5))
+
+        def flip(a, b):
+            if net.link_is_up(a, b):
+                net.fail_link(a, b)
+            else:
+                net.restore_link(a, b)
+
+        for t in range(200):
+            src, dst = rng.sample(hosts, 2)
+            sim.schedule_at(t * 0.01, net.send, src, dst, t, 500, False)
+            if rng.random() < 0.1:
+                sim.schedule_at(t * 0.01, flip, *rng.sample(hosts, 2))
+            if rng.random() < 0.05:
+                victim = rng.choice(hosts)
+                sim.schedule_at(t * 0.01, net.crash_host, victim)
+                sim.schedule_at(t * 0.01 + 0.05, net.restart_host, victim)
+            if rng.random() < 0.05:
+                pair = rng.sample(hosts, 2)
+                sim.schedule_at(
+                    t * 0.01, net.set_link_loss, *pair, rng.random() * 0.5
+                )
+        net.run()
+        total_sent = total_delivered = total_dropped = 0
+        for (src, dst), _ in list(net._links.items()):
+            stats = net.link_stats(src, dst)
+            assert stats.in_flight == 0, (src, dst)
+            assert stats.delivered + stats.dropped == stats.sent
+            total_sent += stats.sent
+            total_delivered += stats.delivered
+            total_dropped += stats.dropped
+        assert total_sent == 200
+        assert total_dropped > 0  # faults actually bit
+        assert total_delivered + total_dropped == total_sent
