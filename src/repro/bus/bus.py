@@ -129,7 +129,14 @@ class BusClient:
     name: str
     site: str
     received: list[tuple[float, str, Any]] = field(default_factory=list)
+    #: Fallback callback for deliveries on topics without their own.
     callback: Callable[[str, Any], None] | None = None
+    #: Per-topic callbacks: one client (e.g. a Local Switchboard) can
+    #: hold many concurrent subscriptions -- one per in-flight chain --
+    #: without them clobbering each other.
+    topic_callbacks: dict[str, Callable[[str, Any], None]] = field(
+        default_factory=dict
+    )
 
 
 class GlobalMessageBus:
@@ -185,15 +192,21 @@ class GlobalMessageBus:
         """Install a subscription.  Idempotent: re-subscribing an
         already-subscribed client only refreshes its callback.
 
+        The ``callback`` is registered *for this topic*: a client with
+        many live subscriptions (a Local Switchboard watching several
+        in-flight chains) gets each topic's deliveries routed to that
+        topic's callback, falling back to the client-wide
+        :attr:`BusClient.callback` for topics without one.
+
         The filter lands at the proxy of the topic's *publisher* site
         (inferred from the topic); the subscriber's own proxy records the
         local fan-out entry.
         """
         topic = Topic.parse(topic) if isinstance(topic, str) else topic
         client = self._client(client_name)
-        if callback is not None:
-            client.callback = callback
         key = str(topic)
+        if callback is not None:
+            client.topic_callbacks[key] = callback
         publisher_site = topic.publisher_site
         if publisher_site not in self._site_filters:
             raise BusError(f"topic names unknown site {publisher_site!r}")
@@ -213,6 +226,7 @@ class GlobalMessageBus:
         client = self._client(client_name)
         key = str(topic)
         locals_ = self._local_subscribers[client.site].get(key, [])
+        client.topic_callbacks.pop(key, None)
         if client.name in locals_:
             locals_.remove(client.name)
         if not locals_:
@@ -230,8 +244,17 @@ class GlobalMessageBus:
         topic: Topic | str,
         payload: Any,
         size_bytes: int | None = None,
-    ) -> None:
-        """Publish a message from a client (sent to its local proxy)."""
+    ) -> bool:
+        """Publish a message from a client (sent to its local proxy).
+
+        Returns whether the *first hop* (client -> local proxy) was
+        accepted by the network; ``False`` means the message is already
+        an accounted drop (crashed client or proxy, dead local link).
+        Delivery past the proxy is still best-effort -- WAN faults
+        surface in :attr:`stats` -- so a ``True`` is not an end-to-end
+        acknowledgement.  Callers needing reliable control-plane
+        delivery should use :mod:`repro.resilience.rpc` instead.
+        """
         topic = Topic.parse(topic) if isinstance(topic, str) else topic
         client = self._client(client_name)
         self.stats.published += 1
@@ -247,7 +270,7 @@ class GlobalMessageBus:
         # strict=False: a crashed or removed proxy turns the publish
         # into an accounted drop rather than a NetworkError from deep
         # inside a fault scenario (see repro.chaos).
-        self.network.send(
+        return self.network.send(
             client.name,
             proxy_name(client.site),
             message,
@@ -315,8 +338,11 @@ class GlobalMessageBus:
                 self.metrics.histogram(
                     "bus.delivery_latency_s", topic=message["topic"]
                 ).observe(now - message["published_at"])
-            if client.callback is not None:
-                client.callback(message["topic"], message["payload"])
+            callback = client.topic_callbacks.get(
+                message["topic"], client.callback
+            )
+            if callback is not None:
+                callback(message["topic"], message["payload"])
 
         return receive
 

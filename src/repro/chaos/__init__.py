@@ -26,6 +26,7 @@ from repro.chaos.invariants import (
     lease_safety,
     link_conservation,
     network_quiescence,
+    no_orphaned_reservations,
     two_phase_atomicity,
 )
 from repro.chaos.runner import (
@@ -66,6 +67,7 @@ __all__ = [
     "lease_safety",
     "link_conservation",
     "network_quiescence",
+    "no_orphaned_reservations",
     "run_soak",
     "two_phase_atomicity",
 ]

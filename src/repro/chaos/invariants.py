@@ -38,6 +38,7 @@ from repro.controller.replication import ReplicatedStore, ReplicationError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.bus.bus import GlobalMessageBus
     from repro.controller.global_switchboard import GlobalSwitchboard
+    from repro.controller.protocol import BusDrivenInstaller
     from repro.simnet.events import Simulator
     from repro.simnet.network import SimNetwork
 
@@ -159,11 +160,25 @@ def network_quiescence(net: "SimNetwork") -> Callable[[], list[str]]:
     return probe
 
 
-def two_phase_atomicity(gs: "GlobalSwitchboard") -> Callable[[], list[str]]:
+def two_phase_atomicity(
+    gs: "GlobalSwitchboard",
+    installer: "BusDrivenInstaller | None" = None,
+) -> Callable[[], list[str]]:
     """No dangling 2PC reservation once recovery settles: every prepare
-    was either committed or aborted."""
+    was either committed or aborted.
+
+    With an ``installer``, the probe skips while installs are in flight
+    -- a live 2PC legitimately holds reservations mid-round.
+    """
 
     def probe() -> list[str]:
+        if installer is not None and (
+            installer._pending or installer.rpc.outstanding()
+        ):
+            # In-flight installs and un-acked control RPCs (e.g.
+            # teardowns still being retransmitted) legitimately leave
+            # participant state without an owning installation.
+            return []
         out = []
         for name, service in gs.vnf_services.items():
             pending = service.pending_reservations()
@@ -177,11 +192,27 @@ def two_phase_atomicity(gs: "GlobalSwitchboard") -> Callable[[], list[str]]:
     return probe
 
 
-def capacity_safety(gs: "GlobalSwitchboard") -> Callable[[], list[str]]:
+def capacity_safety(
+    gs: "GlobalSwitchboard",
+    installer: "BusDrivenInstaller | None" = None,
+) -> Callable[[], list[str]]:
     """Committed capacity never exceeds surviving capacity, and the
-    services' ledgers agree with the installed chains' records."""
+    services' ledgers agree with the installed chains' records.
+
+    With an ``installer``, the probe skips while installs are in flight:
+    a commit lands at the VNF service one WAN delay before the
+    coordinator publishes the installation record, so the two ledgers
+    legitimately disagree mid-install.
+    """
 
     def probe() -> list[str]:
+        if installer is not None and (
+            installer._pending or installer.rpc.outstanding()
+        ):
+            # In-flight installs and un-acked control RPCs (e.g.
+            # teardowns still being retransmitted) legitimately leave
+            # participant state without an owning installation.
+            return []
         out = []
         per_site: dict[tuple[str, str], float] = {}
         for installation in gs.installations.values():
@@ -203,6 +234,55 @@ def capacity_safety(gs: "GlobalSwitchboard") -> Callable[[], list[str]]:
                         f"{name}@{site}: installations record "
                         f"{recorded:.3f} but service ledger has "
                         f"{committed:.3f}"
+                    )
+        return out
+
+    return probe
+
+
+def no_orphaned_reservations(
+    gs: "GlobalSwitchboard",
+    installer: "BusDrivenInstaller | None" = None,
+) -> Callable[[], list[str]]:
+    """The end-to-end outcome guarantee of the resilient control plane:
+    after quiescence every submitted chain either fully installed or was
+    aborted with all participant state released.  Concretely, per VNF
+    service: zero outstanding reservations, and the per-(vnf, site) sum
+    of committed chain loads recorded by the coordinator's installations
+    equals what the service's own ledger holds -- no reservation or
+    commitment survives without an owning installation.
+
+    With an ``installer``, the probe skips while installs are in flight
+    (their reservations and half-published commitments are legitimate).
+    """
+
+    def probe() -> list[str]:
+        if installer is not None and (
+            installer._pending or installer.rpc.outstanding()
+        ):
+            # In-flight installs and un-acked control RPCs (e.g.
+            # teardowns still being retransmitted) legitimately leave
+            # participant state without an owning installation.
+            return []
+        out = []
+        recorded: dict[tuple[str, str], float] = {}
+        for installation in gs.installations.values():
+            for (vnf, site), load in installation.committed_load.items():
+                recorded[(vnf, site)] = recorded.get((vnf, site), 0.0) + load
+        for name, service in gs.vnf_services.items():
+            for (chain, site), load in sorted(service.reservations().items()):
+                out.append(
+                    f"{name}@{site}: orphaned reservation of {load:.3f} "
+                    f"for chain {chain!r}"
+                )
+            for site in service.sites:
+                committed = service.committed(site)
+                expected = recorded.get((name, site), 0.0)
+                if abs(committed - expected) > 1e-3:
+                    out.append(
+                        f"{name}@{site}: service ledger holds "
+                        f"{committed:.3f} but installations own "
+                        f"{expected:.3f}"
                     )
         return out
 

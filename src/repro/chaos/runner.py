@@ -37,6 +37,7 @@ from repro.chaos.invariants import (
     lease_safety,
     link_conservation,
     network_quiescence,
+    no_orphaned_reservations,
     two_phase_atomicity,
 )
 from repro.chaos.scenario import (
@@ -55,11 +56,17 @@ from repro.controller.failures import (
     fail_site,
     restore_site,
 )
+from repro.controller.protocol import BusDrivenInstaller, InstallationTimeline
 from repro.controller.replication import ReplicatedStore
 from repro.core.model import CloudSite, NetworkModel, VNF
 from repro.dataplane import DataPlane
 from repro.edge import EdgeController, EdgeInstance
 from repro.obs import MetricsRegistry, collect_bus, collect_network
+from repro.resilience import (
+    FailoverManager,
+    ReconciliationSweeper,
+    ResilienceConfig,
+)
 from repro.simnet.events import Simulator
 from repro.simnet.network import SimNetwork
 from repro.vnf import VnfService
@@ -77,12 +84,39 @@ class SoakConfig:
     probe_interval_s: float = 1.0
     lease_duration_s: float = 4.0
     lease_renew_s: float = 1.5
+    partition: bool = False
+    #: Control-plane fault mode: live bus-driven installs run mid-soak
+    #: while control links lose messages and the active Global
+    #: Switchboard crashes once; the resilience stack (reliable RPC,
+    #: deadlines, sweeper, standby failover) must keep every invariant.
+    control_faults: bool = False
+    control_loss: float = 0.2
+    num_live_installs: int = 6
+    install_deadline_s: float = 8.0
     scenario: ScenarioConfig | None = None
 
     def scenario_config(self) -> ScenarioConfig:
         if self.scenario is not None:
             return self.scenario
-        return ScenarioConfig(duration_s=self.duration_s)
+        if self.control_faults:
+            # Focus the schedule on the control plane: loss windows on
+            # every cross-site control link plus one mid-run GS crash.
+            # The synchronous site-outage reroute path stays off -- it
+            # mutates routes underneath in-flight bus-driven installs,
+            # which is a different (operator-serialized) regime.
+            return ScenarioConfig(
+                duration_s=self.duration_s,
+                link_flaps=2,
+                site_outage=False,
+                leader_kill=False,
+                partition=self.partition,
+                control_loss_windows=2,
+                control_loss_probability=self.control_loss,
+                gs_crash=True,
+            )
+        return ScenarioConfig(
+            duration_s=self.duration_s, partition=self.partition
+        )
 
 
 #: Sites of the soak deployment ("a" is the hub node, so site-A outages
@@ -108,6 +142,11 @@ class Deployment:
     monitor: LeaseMonitor
     registry: MetricsRegistry
     sites: tuple[str, ...] = SITES
+    #: Populated in control-fault mode only.
+    installer: BusDrivenInstaller | None = None
+    failover: FailoverManager | None = None
+    sweeper: ReconciliationSweeper | None = None
+    live_timelines: list[InstallationTimeline] = field(default_factory=list)
 
 
 def build_deployment(config: SoakConfig) -> Deployment:
@@ -168,7 +207,24 @@ def build_deployment(config: SoakConfig) -> Deployment:
         )
 
     store = ReplicatedStore([f"ctl.{s}" for s in SITES])
-    return Deployment(sim, net, bus, gs, store, LeaseMonitor(store), registry)
+    deployment = Deployment(
+        sim, net, bus, gs, store, LeaseMonitor(store), registry
+    )
+    if config.control_faults:
+        deployment.installer = BusDrivenInstaller(
+            gs,
+            bus,
+            gs_site="A",
+            edge_controller_site="A",
+            vnf_controller_sites={"fw": "B", "nat": "C"},
+            metrics=registry,
+            resilience=ResilienceConfig(
+                install_deadline_s=config.install_deadline_s,
+                seed=config.seed,
+            ),
+            store=store,
+        )
+    return deployment
 
 
 class ChaosEngine:
@@ -187,6 +243,7 @@ class ChaosEngine:
         self.dead_candidates: set[str] = set()
         self.leader_transitions = 0
         self.leaders_killed = 0
+        self.gs_crashes = 0
         self._last_leader: str | None = None
         self._recovery_hist = deployment.registry.histogram(
             "chaos.recovery_s"
@@ -291,6 +348,30 @@ class ChaosEngine:
                     except Exception:
                         pass
 
+    def _on_control_loss(self, event: FaultEvent) -> None:
+        """Probabilistic loss on every cross-site control link at once
+        (value 0.0 heals).  The data-plane WAN is untouched: this is a
+        control-plane-only degradation."""
+        installer = self.d.installer
+        if installer is None:
+            return
+        for a, b in installer.control_pairs:
+            self.d.net.set_link_loss(a, b, event.value)
+
+    def _on_gs_crash(self, event: FaultEvent) -> None:
+        """Crash the active Global Switchboard process mid-run: its host
+        goes down (no scheduled restart -- only a standby takeover via
+        the failover manager brings the role back) and its candidate
+        stops renewing the lease."""
+        installer = self.d.installer
+        if installer is None:
+            return
+        self.gs_crashes += 1
+        self.d.net.crash_host(installer.gs_host)
+        failover = self.d.failover
+        if failover is not None:
+            failover.mark_dead(failover.active)
+
     def _on_kill_leader(self, event: FaultEvent) -> None:
         leader = self.d.monitor.leader(self.d.sim.now)
         if leader is None:
@@ -337,6 +418,31 @@ def _start_workload(d: Deployment, config: SoakConfig) -> None:
                 )
 
 
+def _start_install_workload(d: Deployment, config: SoakConfig) -> None:
+    """Seeded bus-driven installs submitted mid-soak, so control faults
+    (loss windows, the GS crash) land on live 2PC rounds.  Start times
+    sit in [0.15, 0.5] x duration: after the run warms up, early enough
+    that every deadline resolves before the horizon."""
+    installer = d.installer
+    assert installer is not None
+    rng = random.Random(f"installs-{config.seed}")
+    lo, hi = 0.15 * config.duration_s, 0.5 * config.duration_s
+    for i in range(config.num_live_installs):
+        ingress, egress = rng.sample(list(d.sites), 2)
+        chain_vnfs = ["fw"] if rng.random() < 0.5 else ["fw", "nat"]
+        spec = ChainSpecification(
+            f"live{i}", "vpn", f"att-{ingress}", f"att-{egress}",
+            chain_vnfs,
+            forward_demand=config.chain_demand * 0.5,
+            reverse_demand=config.chain_demand * 0.125,
+            dst_prefixes=[f"21.0.{i}.0/24"],
+        )
+        d.sim.schedule_at(
+            rng.uniform(lo, hi),
+            installer.install, spec, d.live_timelines.append,
+        )
+
+
 # ---------------------------------------------------------------------------
 # Report
 # ---------------------------------------------------------------------------
@@ -364,6 +470,18 @@ class SoakReport:
     leader_transitions: int = 0
     leaders_killed: int = 0
     probes_run: int = 0
+    # Control-fault mode (zero/absent activity otherwise).
+    installs_submitted: int = 0
+    installs_completed: int = 0
+    installs_failed: int = 0
+    deadline_aborts: int = 0
+    rpc_sent: int = 0
+    rpc_retries: int = 0
+    rpc_timeouts: int = 0
+    rpc_duplicates: int = 0
+    gs_crashes: int = 0
+    failover_takeovers: int = 0
+    stale_reservations_swept: int = 0
 
     @property
     def passed(self) -> bool:
@@ -400,6 +518,19 @@ class SoakReport:
                 "killed": self.leaders_killed,
             },
             "probes_run": self.probes_run,
+            "control": {
+                "installs_submitted": self.installs_submitted,
+                "installs_completed": self.installs_completed,
+                "installs_failed": self.installs_failed,
+                "deadline_aborts": self.deadline_aborts,
+                "rpc_sent": self.rpc_sent,
+                "rpc_retries": self.rpc_retries,
+                "rpc_timeouts": self.rpc_timeouts,
+                "rpc_duplicates": self.rpc_duplicates,
+                "gs_crashes": self.gs_crashes,
+                "failover_takeovers": self.failover_takeovers,
+                "stale_reservations_swept": self.stale_reservations_swept,
+            },
             "passed": self.passed,
         }
 
@@ -441,6 +572,19 @@ class SoakReport:
             f"{self.leader_transitions} leader transition(s), "
             f"{self.leaders_killed} kill(s)"
         )
+        if self.installs_submitted:
+            lines.append(
+                f"control plane: {self.installs_submitted} live "
+                f"install(s) -> {self.installs_completed} completed, "
+                f"{self.installs_failed} aborted "
+                f"({self.deadline_aborts} by deadline); "
+                f"rpc {self.rpc_sent} sent / {self.rpc_retries} retries / "
+                f"{self.rpc_timeouts} timeouts / "
+                f"{self.rpc_duplicates} dups suppressed; "
+                f"{self.gs_crashes} GS crash(es), "
+                f"{self.failover_takeovers} takeover(s), "
+                f"{self.stale_reservations_swept} stale reservation(s) swept"
+            )
         lines.append(f"invariant probes run: {self.probes_run}")
         if self.passed:
             lines.append("PASS: zero invariant violations")
@@ -484,13 +628,34 @@ def run_soak(
 
     engine = ChaosEngine(d, config)
     engine.schedule(scenario)
-    engine.start_lease_loop()
+    if config.control_faults and d.installer is not None:
+        # The failover manager owns the lease in control-fault mode
+        # (renewal while the active GS lives, takeover when it dies).
+        d.failover = FailoverManager(
+            d.installer,
+            d.store,
+            monitor=d.monitor,
+            candidates=CANDIDATES,
+            lease_duration_s=config.lease_duration_s,
+            check_interval_s=config.lease_renew_s,
+            metrics=d.registry,
+        )
+        d.failover.start(config.duration_s)
+        d.sweeper = ReconciliationSweeper(d.installer, metrics=d.registry)
+        d.sweeper.start(config.duration_s)
+        _start_install_workload(d, config)
+    else:
+        engine.start_lease_loop()
     _start_workload(d, config)
 
     checker = InvariantChecker(d.sim, interval_s=config.probe_interval_s)
     checker.add("link_conservation", link_conservation(d.net))
-    checker.add("two_phase_atomicity", two_phase_atomicity(d.gs))
-    checker.add("capacity_safety", capacity_safety(d.gs))
+    checker.add("two_phase_atomicity", two_phase_atomicity(d.gs, d.installer))
+    checker.add("capacity_safety", capacity_safety(d.gs, d.installer))
+    checker.add(
+        "no_orphaned_reservations",
+        no_orphaned_reservations(d.gs, d.installer),
+    )
     checker.add("bus_delivery", bus_delivery(d.bus))
     checker.add("lease_safety", lease_safety(d.monitor))
     checker.start(config.duration_s)
@@ -507,7 +672,26 @@ def run_soak(
 
     collect_network(d.registry, d.net)
     collect_bus(d.registry, d.bus)
+    if d.installer is not None:
+        from repro.obs import collect_resilience
 
+        collect_resilience(
+            d.registry, d.installer, failover=d.failover, sweeper=d.sweeper
+        )
+
+    leader_transitions = engine.leader_transitions
+    if config.control_faults:
+        # The failover manager drove the lease; count owner changes
+        # across the recorded grants.
+        owners = [g.owner for g in d.monitor.grants]
+        leader_transitions = sum(
+            1 for i in range(1, len(owners)) if owners[i] != owners[i - 1]
+        )
+
+    installer = d.installer
+    completed = sum(
+        1 for t in d.live_timelines if t.completed_at is not None
+    )
     return SoakReport(
         seed=config.seed,
         duration_s=config.duration_s,
@@ -532,7 +716,22 @@ def run_soak(
         bus_wan_drops=d.bus.stats.wan_drops,
         drop_reasons=dict(sorted(d.net.drop_reasons.items())),
         lease_grants=len(d.monitor.grants),
-        leader_transitions=engine.leader_transitions,
+        leader_transitions=leader_transitions,
         leaders_killed=engine.leaders_killed,
         probes_run=checker.probes_run,
+        installs_submitted=len(d.live_timelines),
+        installs_completed=completed,
+        installs_failed=len(d.live_timelines) - completed,
+        deadline_aborts=installer.deadline_aborts if installer else 0,
+        rpc_sent=installer.rpc.sent if installer else 0,
+        rpc_retries=installer.rpc.retries if installer else 0,
+        rpc_timeouts=installer.rpc.timeouts if installer else 0,
+        rpc_duplicates=(
+            installer.rpc.duplicates_suppressed if installer else 0
+        ),
+        gs_crashes=engine.gs_crashes,
+        failover_takeovers=d.failover.takeovers if d.failover else 0,
+        stale_reservations_swept=(
+            d.sweeper.stale_reservations_released if d.sweeper else 0
+        ),
     )

@@ -42,6 +42,8 @@ EVENT_KINDS = (
     "fail_site",
     "restore_site",
     "kill_leader",
+    "control_loss",
+    "gs_crash",
 )
 
 
@@ -134,6 +136,15 @@ class ScenarioConfig:
     leader_kill: bool = True
     partition: bool = False
     partition_s: float = 5.0
+    #: Windows of probabilistic loss applied to *every* cross-site
+    #: control link at once (the 2PC/RPC channels), exercising the
+    #: resilience stack rather than the data path.
+    control_loss_windows: int = 0
+    control_loss_probability: float = 0.2
+    #: Crash the active Global Switchboard process mid-run (its host
+    #: goes down and stays down until the standby's failover takeover
+    #: restarts it -- there is no scheduled heal event).
+    gs_crash: bool = False
 
 
 def generate_scenario(
@@ -219,5 +230,19 @@ def generate_scenario(
     if config.leader_kill:
         at = rng.uniform(lo, hi)
         events.append(FaultEvent(at, "kill_leader"))
+
+    for _ in range(config.control_loss_windows):
+        start, end = window(config.window_s)
+        events.append(
+            FaultEvent(start, "control_loss", ("control",),
+                       config.control_loss_probability)
+        )
+        events.append(FaultEvent(end, "control_loss", ("control",), 0.0))
+
+    if config.gs_crash:
+        # Early-ish in the run, so in-flight installs get crashed on
+        # and the failover still has time to settle.
+        at = rng.uniform(0.2 * config.duration_s, 0.4 * config.duration_s)
+        events.append(FaultEvent(at, "gs_crash", ("ctrl.gs",)))
 
     return Scenario(seed=seed, duration_s=config.duration_s, events=events)

@@ -197,6 +197,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         collect_bus,
         collect_dataplane,
         collect_network,
+        collect_resilience,
         registry_to_json,
         render_report,
     )
@@ -289,6 +290,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     collect_network(registry, net)
     collect_bus(registry, bus)
     collect_dataplane(registry, dp)
+    collect_resilience(registry, installer)
     if args.json:
         print(registry_to_json(registry))
     else:
@@ -383,16 +385,22 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     while invariants are probed.  Exit code 1 if any invariant was
     violated, so a failing seed turns into a failing CI step; rerunning
     with the same ``--seed`` replays the byte-identical schedule.
+
+    ``--control-faults`` switches the soak to the control-plane mix:
+    live 2PC installs run through the bus-driven installer while the
+    schedule drops control-channel RPCs and crashes the active Global
+    Switchboard mid-install, exercising the resilience stack (reliable
+    RPC, deadlines, sweeper, lease failover).
     """
-    from repro.chaos import ScenarioConfig, SoakConfig, run_soak
+    from repro.chaos import SoakConfig, run_soak
 
     config = SoakConfig(
         seed=args.seed,
         duration_s=args.duration,
         num_chains=args.chains,
-        scenario=ScenarioConfig(
-            duration_s=args.duration, partition=args.partition
-        ),
+        partition=args.partition,
+        control_faults=args.control_faults,
+        control_loss=args.control_loss,
     )
     report = run_soak(config)
     output = report.to_json() if args.json else report.render()
@@ -483,6 +491,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chains", type=int, default=8)
     p.add_argument("--partition", action="store_true",
                    help="include a network partition in the schedule")
+    p.add_argument("--control-faults", action="store_true",
+                   help="control-plane mix: live 2PC installs under "
+                   "control-message loss and a mid-install GS crash")
+    p.add_argument("--control-loss", type=float, default=0.2,
+                   help="per-link control-message loss probability "
+                   "during control_loss windows (default 0.2)")
     p.add_argument("--json", action="store_true")
     p.add_argument("--out", help="also write the JSON report to a file")
     p.set_defaults(func=_cmd_chaos)

@@ -134,11 +134,12 @@ def _reroute_affected(gs: GlobalSwitchboard, report: FailureReport) -> None:
     for name in report.affected_chains:
         installation = gs.installations[name]
         # Release the chain's committed capacity at every site (a full
-        # re-route may choose entirely different sites).
-        for (vnf_name, committed_site), load in list(
-            installation.committed_load.items()
-        ):
-            gs.vnf_services[vnf_name].release(name, committed_site, load)
+        # re-route may choose entirely different sites).  The service's
+        # per-chain ledger is authoritative for the amount, so no load
+        # argument: a coordinator-side record that drifted (e.g. across
+        # a failover restore) cannot over- or under-release.
+        for vnf_name, committed_site in list(installation.committed_load):
+            gs.vnf_services[vnf_name].release(name, committed_site)
         installation.committed_load = {}
         gs.router.rollback(name)
         try:

@@ -17,7 +17,7 @@ reflects the deployment's geography.
 Message sequence (the numbered arrows of Figure 4):
 
 1. chain spec reaches Global Switchboard;
-2. GS resolves ingress/egress with the edge controller (RPC);
+2. GS resolves ingress/egress sites with the edge controller (RPC);
 3. GS computes the route and 2PCs capacity with each VNF controller on
    it (prepare RPCs, then commit RPCs; a rejection triggers recompute);
 4. GS publishes the route + labels on the bus; edge and VNF controllers
@@ -26,6 +26,19 @@ Message sequence (the numbered arrows of Figure 4):
    compiles and installs its site's rules (+ data-plane config delay).
 
 Installation completes when every site on the route has configured.
+
+Fault tolerance (:mod:`repro.resilience`): control RPCs ride the
+at-least-once :class:`~repro.resilience.rpc.RpcLayer`; 2PC messages are
+stamped with the coordinator's **attempt number** and receivers keep a
+per-(chain, vnf, site) epoch so stale rounds (a retransmitted abort
+racing a fresh prepare) are no-ops; a per-install **deadline** triggers
+:meth:`BusDrivenInstaller.abort_install`, which tears down every
+participant and rolls the coordinator back; a per-install **re-drive
+tick** re-sends the phase-appropriate messages that travel over bare or
+pub/sub channels (chain request, edge configure, instance allocation);
+and, given a :class:`~repro.controller.replication.ReplicatedStore`,
+the installer checkpoints installations and phase markers so a standby
+controller can resume or abort after a failover.
 """
 
 from __future__ import annotations
@@ -34,8 +47,10 @@ from dataclasses import dataclass, field
 from typing import Callable, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controller.replication import ReplicatedStore
     from repro.obs.registry import MetricsRegistry
     from repro.obs.trace import Span
+    from repro.simnet.events import EventHandle
 
 from repro.bus.bus import GlobalMessageBus
 from repro.bus.topics import Topic
@@ -46,9 +61,17 @@ from repro.controller.global_switchboard import (
     InstallationError,
 )
 from repro.core.model import Chain
+from repro.resilience.deadline import DeadlineManager, ResilienceConfig
+from repro.resilience.rpc import RpcLayer
 from repro.simnet.network import LinkSpec
+from repro.vnf.service import AllocationError
 
 _EPS = 1e-9
+
+#: Attempt number carried by teardown messages: larger than any real
+#: 2PC round, so a teardown permanently fences late prepares/commits of
+#: the chain at that participant.
+_TOMBSTONE = 1 << 30
 
 
 class ProtocolError(Exception):
@@ -96,6 +119,10 @@ class BusDrivenInstaller:
     ``edge_site``, one VNF-controller host per VNF service (at the
     service's first deployment site), and one Local-Switchboard client
     per cloud site (attached to the bus for route/instance topics).
+
+    ``resilience`` configures the hardening stack (RPC retries, install
+    deadlines, re-drive); ``store`` enables durable checkpoints and
+    phase markers for standby-controller failover.
     """
 
     def __init__(
@@ -108,6 +135,8 @@ class BusDrivenInstaller:
         delays: ProtocolDelays | None = None,
         wan_delay_s: dict[tuple[str, str], float] | float | None = None,
         metrics: "MetricsRegistry | None" = None,
+        resilience: ResilienceConfig | None = None,
+        store: "ReplicatedStore | None" = None,
     ):
         self.gs = gs
         self.bus = bus
@@ -118,6 +147,8 @@ class BusDrivenInstaller:
         #: Observability sink; spans measure *simulated* seconds when the
         #: registry's clock is this network's simulator.
         self.metrics = metrics
+        self.resilience = resilience or ResilienceConfig()
+        self.store = store
 
         host_sites: dict[str, str] = {}
 
@@ -140,6 +171,9 @@ class BusDrivenInstaller:
         # Direct control links between controllers carry the same WAN
         # propagation as the inter-site bus links, so RPC latency is
         # geography-dependent (same-site hosts use the LAN implicitly).
+        #: Cross-site control link endpoints, for targeted fault
+        #: injection (the chaos ``control_loss`` event).
+        self.control_pairs: list[tuple[str, str]] = []
         names = list(host_sites)
         for i, a in enumerate(names):
             for b in names[i + 1:]:
@@ -149,6 +183,7 @@ class BusDrivenInstaller:
                 self.network.connect(
                     a, b, LinkSpec(delay_s=self._delay_between(site_a, site_b))
                 )
+                self.control_pairs.append((a, b))
         # Local Switchboards are bus clients at their sites.
         self.local_clients: dict[str, str] = {}
         for site in gs.locals:
@@ -159,12 +194,29 @@ class BusDrivenInstaller:
         bus.attach("gsb.pub", gs_site)
 
         self._pending: dict[str, _PendingInstall] = {}
-        self.network.host(self.gs_host).on_receive(self._gs_receive)
-        self.network.host(self.edge_host).on_receive(self._edge_receive)
-        for vnf_name, host in self.vnf_hosts.items():
-            self.network.host(host).on_receive(
-                self._make_vnf_receiver(vnf_name)
-            )
+        #: (chain, vnf, site) -> lowest 2PC attempt still accepted there.
+        self._epochs: dict[tuple[str, str, str], int] = {}
+        self.deadline_aborts = 0
+        self.aborted = 0
+
+        # Reliable control endpoints (each registers itself as its
+        # host's receiver; bare legacy sends pass through unchanged).
+        self.rpc = RpcLayer(
+            self.network,
+            self.resilience.rpc,
+            metrics=metrics,
+            seed=self.resilience.seed,
+        )
+        self._gs_rpc = self.rpc.endpoint(self.gs_host, self._gs_receive)
+        self._edge_rpc = self.rpc.endpoint(self.edge_host, self._edge_receive)
+        self._vnf_rpc = {
+            vnf_name: self.rpc.endpoint(host, self._make_vnf_receiver(vnf_name))
+            for vnf_name, host in self.vnf_hosts.items()
+        }
+        self.deadlines = DeadlineManager(self.sim, metrics=metrics)
+        if metrics is not None:
+            metrics.counter("install.deadline_aborts")
+            metrics.counter("install.aborted")
 
     def _delay_between(self, site_a: str, site_b: str) -> float:
         """One-way control-RPC delay between two sites.
@@ -209,6 +261,60 @@ class BusDrivenInstaller:
         for stage in list(pending.spans):
             self._finish_stage(pending, stage)
 
+    # -- durable state (checkpoints + phase markers) ----------------------
+
+    def _mark_phase(self, chain_name: str, phase: str, loads) -> None:
+        if self.store is None:
+            return
+        from repro.controller.replication import (
+            ReplicationError,
+            mark_install_phase,
+        )
+
+        try:
+            mark_install_phase(self.store, chain_name, phase, loads)
+        except ReplicationError:
+            pass  # degraded store: proceed without durability
+
+    def _clear_marker(self, chain_name: str) -> None:
+        if self.store is None:
+            return
+        from repro.controller.replication import (
+            ReplicationError,
+            clear_install_marker,
+        )
+
+        try:
+            clear_install_marker(self.store, chain_name)
+        except ReplicationError:
+            pass
+
+    def _checkpoint(self, installation: ChainInstallation) -> None:
+        if self.store is None:
+            return
+        from repro.controller.replication import (
+            ReplicationError,
+            checkpoint_installation,
+        )
+
+        try:
+            checkpoint_installation(self.store, installation)
+        except ReplicationError:
+            pass
+
+    def _remove_checkpoint(self, chain_name: str) -> None:
+        if self.store is None:
+            return
+        from repro.controller.replication import (
+            ReplicationError,
+            remove_checkpoint,
+        )
+
+        try:
+            remove_checkpoint(self.store, chain_name)
+        except ReplicationError:
+            pass
+
     # -- public API ------------------------------------------------------
 
     def install(
@@ -219,14 +325,25 @@ class BusDrivenInstaller:
         """Start an installation; returns its (live) timeline object.
 
         Run the simulator (``installer.network.run()``) to drive it to
-        completion; the timeline fills in as milestones pass.
+        completion; the timeline fills in as milestones pass.  If the
+        install has not completed by ``resilience.install_deadline_s``
+        it is aborted and rolled back, and the timeline reports the
+        failure.
         """
         timeline = InstallationTimeline(requested_at=self.sim.now)
         pending = _PendingInstall(spec, timeline, on_complete)
         self._pending[spec.name] = pending
         self._start_stage(pending, "install.total")
         self._start_stage(pending, "install.resolve")
-        # Arrow 0: the portal's request reaches Global Switchboard.
+        self.deadlines.arm(
+            spec.name, self.resilience.install_deadline_s, self._on_deadline
+        )
+        pending.redrive = self.sim.schedule(
+            self.resilience.redrive_interval_s, self._redrive_tick, spec.name
+        )
+        # Arrow 0: the portal's request reaches Global Switchboard.  A
+        # bare send (the portal is a bus client, which cannot speak the
+        # RPC envelope); the re-drive tick re-sends it if lost.
         self.sim.schedule(
             0.0,
             self.network.send,
@@ -235,6 +352,133 @@ class BusDrivenInstaller:
             {"type": "chain_request", "chain": spec.name},
         )
         return timeline
+
+    def abort_install(self, name: str, reason: str) -> bool:
+        """Unilaterally abort an in-flight installation and roll
+        everything back: fence and tear down every participant that may
+        hold reservations or commitments, undo router/model/label state
+        at the coordinator, drop durable markers, and report a failed
+        timeline.  Idempotent; returns False if the install is not
+        pending (already completed, failed, or unknown)."""
+        pending = self._pending.get(name)
+        if pending is None or pending.timeline.completed_at is not None:
+            return False
+        self.aborted += 1
+        if self.metrics is not None:
+            self.metrics.counter("install.aborted").inc()
+        # Stop retransmitting anything about this chain: receivers'
+        # epoch guards make copies already in flight no-ops.
+        for endpoint in self.rpc.endpoints.values():
+            endpoint.cancel_matching(
+                lambda p: isinstance(p, dict) and p.get("chain") == name
+            )
+        # Fence + release every participant the 2PC may have touched.
+        for vnf_name, site in sorted(set(pending.loads)):
+            self.send_teardown(vnf_name, name, site)
+        # Coordinator-side rollback, by how far the install progressed.
+        if name in self.gs.installations:
+            self.gs.remove_chain(name)
+        else:
+            if name in self.gs.model.chains:
+                self.gs.router.rollback(name)
+                self.gs.model.remove_chain(name)
+            self.gs.labels.release(name)
+        # Drop this install's bus subscriptions so a reused label cannot
+        # trigger its stale callbacks.
+        for raw in pending.involved_topics:
+            for client in self.local_clients.values():
+                self.bus.unsubscribe(client, raw)
+        self._remove_checkpoint(name)
+        self._fail(pending, reason)
+        return True
+
+    def send_teardown(self, vnf_name: str, chain: str, site: str) -> None:
+        """Reliably tell a VNF controller to drop *all* state for a
+        (chain, site): the reservation and the committed allocation.
+        Carries the tombstone attempt, permanently fencing late 2PC
+        messages for the chain there."""
+        self._gs_rpc.send(
+            self.vnf_hosts[vnf_name],
+            {
+                "type": "teardown",
+                "chain": chain,
+                "vnf": vnf_name,
+                "site": site,
+                "attempt": _TOMBSTONE,
+            },
+        )
+
+    def redrive(self, name: str) -> None:
+        """Re-send the phase-appropriate messages for a pending install.
+
+        Reliable RPCs retry themselves; this covers the hops that do
+        not: the initial bare chain request, and (post-publish) the edge
+        configuration and instance allocations whose effects travel
+        over the at-most-once pub/sub bus.  Every re-driven action is
+        idempotent downstream.  Used by the periodic tick and by a
+        standby controller after failover.
+        """
+        pending = self._pending.get(name)
+        if pending is None or pending.timeline.completed_at is not None:
+            return
+        timeline = pending.timeline
+        if timeline.sites_resolved_at is None:
+            if not pending.resolve_requested:
+                self.network.send(
+                    "gsb.pub",
+                    self.gs_host,
+                    {"type": "chain_request", "chain": name},
+                    strict=False,
+                )
+        elif timeline.route_published_at is not None:
+            self._drive_configure(pending)
+        # Between those milestones the 2PC is in flight and its RPCs
+        # carry their own retransmit timers.
+
+    # -- deadline / re-drive internals ------------------------------------
+
+    def _on_deadline(self, name: str) -> None:
+        self.deadline_aborts += 1
+        if self.metrics is not None:
+            self.metrics.counter("install.deadline_aborts").inc()
+        self.abort_install(name, "installation deadline expired")
+
+    def _redrive_tick(self, name: str) -> None:
+        pending = self._pending.get(name)
+        if pending is None:
+            return
+        self.redrive(name)
+        pending.redrive = self.sim.schedule(
+            self.resilience.redrive_interval_s, self._redrive_tick, name
+        )
+
+    def _cancel_redrive(self, pending: "_PendingInstall") -> None:
+        if pending.redrive is not None:
+            pending.redrive.cancel()
+            pending.redrive = None
+
+    def _rpc_gave_up(self, dst: str, payload) -> None:
+        """A critical control RPC exhausted its retries: the peer is
+        unreachable beyond what retransmits can fix, so abort the
+        install rather than hang until the deadline."""
+        chain = payload.get("chain") if isinstance(payload, dict) else None
+        if chain is not None:
+            self.abort_install(chain, f"control rpc to {dst} gave up")
+
+    def _drive_configure(self, pending: "_PendingInstall") -> None:
+        spec = pending.spec
+        if not pending.edge_configured:
+            self._gs_rpc.send(
+                self.edge_host,
+                {"type": "configure_edge", "chain": spec.name},
+                self._rpc_gave_up,
+            )
+        for vnf_name, site in sorted(set(pending.loads)):
+            self._gs_rpc.send(
+                self.vnf_hosts[vnf_name],
+                {"type": "allocate", "chain": spec.name, "site": site},
+                self._rpc_gave_up,
+            )
 
     # -- Global Switchboard host -------------------------------------------
 
@@ -249,12 +493,14 @@ class BusDrivenInstaller:
             handler(message)
 
     def _on_chain_request(self, message: dict) -> None:
-        pending = self._pending[message["chain"]]
+        pending = self._pending.get(message["chain"])
+        if pending is None or pending.resolve_requested:
+            return  # unknown chain, or a re-driven duplicate request
+        pending.resolve_requested = True
         # Arrow 1: resolve ingress/egress sites with the edge controller.
         self.sim.schedule(
             self.delays.controller_processing_s,
-            self.network.send,
-            self.gs_host,
+            self._gs_rpc.send,
             self.edge_host,
             {
                 "type": "resolve_sites",
@@ -262,11 +508,14 @@ class BusDrivenInstaller:
                 "ingress": pending.spec.ingress_attachment,
                 "egress": pending.spec.egress_attachment,
             },
+            self._rpc_gave_up,
         )
 
     def _edge_receive(self, sender: str, message: dict) -> None:
         if message.get("type") == "resolve_sites":
-            pending = self._pending[message["chain"]]
+            pending = self._pending.get(message["chain"])
+            if pending is None:
+                return
             edge = self.gs.edge_controllers[pending.spec.edge_service]
             reply = {
                 "type": "sites_resolved",
@@ -276,19 +525,23 @@ class BusDrivenInstaller:
             }
             self.sim.schedule(
                 self.delays.controller_processing_s,
-                self.network.send,
-                self.edge_host,
+                self._edge_rpc.send,
                 self.gs_host,
                 reply,
             )
         elif message.get("type") == "configure_edge":
-            pending = self._pending[message["chain"]]
+            pending = self._pending.get(message["chain"])
+            if pending is None or pending.edge_configured:
+                return
+            pending.edge_configured = True
             installation = pending.timeline.installation
             edge = self.gs.edge_controllers[pending.spec.edge_service]
             self.gs._configure_edges(installation, edge)
 
     def _on_sites_resolved(self, message: dict) -> None:
-        pending = self._pending[message["chain"]]
+        pending = self._pending.get(message["chain"])
+        if pending is None or pending.timeline.sites_resolved_at is not None:
+            return  # re-driven duplicate resolution
         pending.timeline.sites_resolved_at = self.sim.now
         self._finish_stage(pending, "install.resolve")
         self._start_stage(pending, "install.route_compute")
@@ -297,6 +550,8 @@ class BusDrivenInstaller:
 
         # Arrow 2: route computation (charged compute time), then 2PC.
         def compute() -> None:
+            if self._pending.get(pending.spec.name) is not pending:
+                return  # aborted while the compute delay elapsed
             spec = pending.spec
             chain = Chain(
                 spec.name,
@@ -317,6 +572,8 @@ class BusDrivenInstaller:
 
     def _recompute_route(self, pending: "_PendingInstall") -> None:
         """Route (or re-route after a rejection) and start the 2PC."""
+        if self._pending.get(pending.spec.name) is not pending:
+            return  # aborted while the recompute delay elapsed
         spec = pending.spec
         try:
             routed = self.gs.router.route(spec.name)
@@ -334,12 +591,10 @@ class BusDrivenInstaller:
         if not pending.awaiting_prepare:
             self._publish_route(pending)
             return
+        self._mark_phase(spec.name, "committing", pending.loads)
         self._start_stage(pending, "2pc.prepare")
         for (vnf_name, site), load in pending.loads.items():
-            self.sim.schedule(
-                0.0,
-                self.network.send,
-                self.gs_host,
+            self._gs_rpc.send(
                 self.vnf_hosts[vnf_name],
                 {
                     "type": "prepare",
@@ -347,47 +602,79 @@ class BusDrivenInstaller:
                     "vnf": vnf_name,
                     "site": site,
                     "load": load,
+                    "attempt": pending.commit_attempts,
                 },
+                self._rpc_gave_up,
             )
 
     def _make_vnf_receiver(self, vnf_name: str):
         def receive(sender: str, message: dict) -> None:
             kind = message.get("type")
             service = self.gs.vnf_services[vnf_name]
+            chain, site = message.get("chain"), message.get("site")
+            attempt = message.get("attempt", 0)
+            epoch_key = (chain, vnf_name, site)
+            epoch = self._epochs.get(epoch_key, 0)
             if kind == "prepare":
-                ok = service.prepare(
-                    message["chain"], message["site"], message["load"]
-                )
+                if attempt < epoch:
+                    return  # stale round: already aborted or torn down
+                if attempt > epoch:
+                    # A newer round supersedes any reservation a prior
+                    # round left behind (its abort may still be in
+                    # flight -- and must now be ignored).
+                    service.abort(chain, site)
+                    self._epochs[epoch_key] = attempt
+                ok = service.prepare(chain, site, message["load"])
                 self.sim.schedule(
                     self.delays.controller_processing_s,
-                    self.network.send,
-                    self.vnf_hosts[vnf_name],
+                    self._vnf_rpc[vnf_name].send,
                     self.gs_host,
                     {**message, "type": "prepare_ack", "ok": ok},
                 )
             elif kind == "commit":
-                service.commit(message["chain"], message["site"])
+                if attempt < epoch:
+                    return
+                try:
+                    service.commit(chain, site)
+                except AllocationError:
+                    # Commit raced a teardown fence; the coordinator's
+                    # deadline/abort path owns the outcome.
+                    return
                 self.sim.schedule(
                     self.delays.controller_processing_s,
-                    self.network.send,
-                    self.vnf_hosts[vnf_name],
+                    self._vnf_rpc[vnf_name].send,
                     self.gs_host,
                     {**message, "type": "commit_ack"},
                 )
             elif kind == "abort":
-                service.abort(message["chain"], message["site"])
+                if attempt < epoch:
+                    return
+                service.abort(chain, site)
+                self._epochs[epoch_key] = attempt + 1
+            elif kind == "teardown":
+                service.teardown(chain, site)
+                self._epochs[epoch_key] = max(epoch, attempt + 1)
             elif kind == "allocate":
                 # Arrow 4: allocate instances and publish them on the bus.
+                pending = self._pending.get(chain)
+                if pending is None:
+                    return
+
                 def publish() -> None:
-                    pending = self._pending[message["chain"]]
-                    self._publish_instances(pending, vnf_name, message["site"])
+                    if self._pending.get(chain) is not pending:
+                        return  # completed or aborted meanwhile
+                    self._publish_instances(pending, vnf_name, site)
 
                 self.sim.schedule(self.delays.instance_allocation_s, publish)
 
         return receive
 
     def _on_prepare_ack(self, message: dict) -> None:
-        pending = self._pending[message["chain"]]
+        pending = self._pending.get(message["chain"])
+        if pending is None:
+            return
+        if message.get("attempt", 0) != pending.commit_attempts:
+            return  # ack from a superseded 2PC round
         key = (message["vnf"], message["site"])
         if not message["ok"]:
             self._finish_stage(pending, "2pc.prepare")
@@ -395,16 +682,20 @@ class BusDrivenInstaller:
                 self.metrics.counter(
                     "2pc.rejections", chain=pending.spec.name
                 ).inc()
-            # Rejection: abort the other reservations, reconcile the
-            # rejecting VNF's reported capacity, roll the route back, and
-            # recompute -- the Section 3 step-2 retry, as in the
-            # synchronous path.
-            for vnf_name, site in pending.awaiting_prepare - {key}:
-                self.network.send(
-                    self.gs_host,
+            # Rejection: abort every *other* participant of this round
+            # (not just the un-acked ones -- VNFs that already acked
+            # hold live reservations), reconcile the rejecting VNF's
+            # reported capacity, roll the route back, and recompute --
+            # the Section 3 step-2 retry, as in the synchronous path.
+            # Aborts carry the rejected round's attempt and bump each
+            # receiver's epoch past it, so retransmits of this round
+            # are fenced while next round's prepares are accepted.
+            for vnf_name, site in sorted(set(pending.loads) - {key}):
+                self._gs_rpc.send(
                     self.vnf_hosts[vnf_name],
                     {"type": "abort", "chain": pending.spec.name,
-                     "vnf": vnf_name, "site": site},
+                     "vnf": vnf_name, "site": site,
+                     "attempt": pending.commit_attempts},
                 )
             self.gs.router.rollback(pending.spec.name)
             pending.commit_attempts += 1
@@ -428,17 +719,22 @@ class BusDrivenInstaller:
             self._start_stage(pending, "2pc.commit")
             pending.awaiting_commit = set(pending.loads)
             for vnf_name, site in pending.loads:
-                self.network.send(
-                    self.gs_host,
+                self._gs_rpc.send(
                     self.vnf_hosts[vnf_name],
                     {"type": "commit", "chain": pending.spec.name,
-                     "vnf": vnf_name, "site": site},
+                     "vnf": vnf_name, "site": site,
+                     "attempt": pending.commit_attempts},
+                    self._rpc_gave_up,
                 )
 
     def _on_commit_ack(self, message: dict) -> None:
-        pending = self._pending[message["chain"]]
+        pending = self._pending.get(message["chain"])
+        if pending is None:
+            return
+        if message.get("attempt", 0) != pending.commit_attempts:
+            return
         pending.awaiting_commit.discard((message["vnf"], message["site"]))
-        if not pending.awaiting_commit:
+        if not pending.awaiting_commit and pending.timeline.route_committed_at is None:
             pending.timeline.route_committed_at = self.sim.now
             self._finish_stage(pending, "2pc.commit")
             self._publish_route(pending)
@@ -468,12 +764,16 @@ class BusDrivenInstaller:
         self.gs.installations[spec.name] = installation
         pending.timeline.installation = installation
         pending.timeline.route_published_at = self.sim.now
+        # Durable: the chain is committed; a standby controller must
+        # either finish configuring it or tear it down exactly.
+        self._checkpoint(installation)
+        self._mark_phase(spec.name, "configuring", pending.loads)
         self._start_stage(pending, "install.configure")
         # The edge controller configures classifiers (arrow 4, edge side).
-        self.network.send(
-            self.gs_host,
+        self._gs_rpc.send(
             self.edge_host,
             {"type": "configure_edge", "chain": spec.name},
+            self._rpc_gave_up,
         )
         # Instance allocation requests to VNF controllers on the route.
         involved: set[tuple[str, str]] = set(pending.loads)
@@ -482,10 +782,10 @@ class BusDrivenInstaller:
             self._configure_sites(pending)
             return
         for vnf_name, site in involved:
-            self.network.send(
-                self.gs_host,
+            self._gs_rpc.send(
                 self.vnf_hosts[vnf_name],
                 {"type": "allocate", "chain": spec.name, "site": site},
+                self._rpc_gave_up,
             )
         # Local Switchboards subscribe for the instance announcements
         # (the Section 6 topic layout: filters land at publisher sites).
@@ -537,6 +837,8 @@ class BusDrivenInstaller:
 
     def _make_local_callback(self, pending: "_PendingInstall", site: str):
         def on_instances(topic: str, _payload) -> None:
+            if self._pending.get(pending.spec.name) is not pending:
+                return  # aborted install: ignore straggler publications
             if site in pending.timeline.site_configured_at:
                 return
             seen = pending.seen_instance_info.setdefault(site, set())
@@ -547,6 +849,10 @@ class BusDrivenInstaller:
                 return
 
             def configure() -> None:
+                if self._pending.get(pending.spec.name) is not pending:
+                    return
+                if site in pending.timeline.site_configured_at:
+                    return  # a re-driven duplicate publication
                 installation = pending.timeline.installation
                 self.gs._install_rules(installation, only_site=site)
                 pending.timeline.site_configured_at[site] = self.sim.now
@@ -554,8 +860,6 @@ class BusDrivenInstaller:
                 if needed <= set(pending.timeline.site_configured_at):
                     pending.timeline.completed_at = self.sim.now
                     self._complete(pending)
-                    if pending.on_complete is not None:
-                        pending.on_complete(pending.timeline)
 
             self.sim.schedule(
                 self.delays.rule_compute_s + self.delays.dataplane_config_s,
@@ -569,13 +873,13 @@ class BusDrivenInstaller:
         installation = pending.timeline.installation
 
         def configure() -> None:
+            if self._pending.get(pending.spec.name) is not pending:
+                return
             self.gs._install_rules(installation)
             now = self.sim.now
             pending.timeline.site_configured_at[pending.ingress_site] = now
             pending.timeline.completed_at = now
             self._complete(pending)
-            if pending.on_complete is not None:
-                pending.on_complete(pending.timeline)
 
         self.sim.schedule(
             self.delays.rule_compute_s + self.delays.dataplane_config_s,
@@ -583,13 +887,30 @@ class BusDrivenInstaller:
         )
 
     def _complete(self, pending: "_PendingInstall") -> None:
+        """Success path: release the pending entry, disarm timers,
+        clear durable markers, and notify the caller -- symmetric with
+        :meth:`_fail`."""
+        name = pending.spec.name
+        if self._pending.get(name) is pending:
+            del self._pending[name]
+        self.deadlines.disarm(name)
+        self._cancel_redrive(pending)
         self._finish_open_stages(pending)
+        self._clear_marker(name)
         if self.metrics is not None:
             self.metrics.counter("install.completed").inc()
+        if pending.on_complete is not None:
+            pending.on_complete(pending.timeline)
 
     def _fail(self, pending: "_PendingInstall", reason: str) -> None:
+        name = pending.spec.name
+        if self._pending.get(name) is pending:
+            del self._pending[name]
+        self.deadlines.disarm(name)
+        self._cancel_redrive(pending)
         pending.timeline.failed = reason
         self._finish_open_stages(pending)
+        self._clear_marker(name)
         if self.metrics is not None:
             self.metrics.counter("install.failed").inc()
         if pending.on_complete is not None:
@@ -614,3 +935,9 @@ class _PendingInstall:
     #: stage name -> open tracing span (populated only when the
     #: installer was built with a metrics registry).
     spans: "dict[str, Span]" = field(default_factory=dict)
+    #: True once the edge resolution RPC for this install was issued.
+    resolve_requested: bool = False
+    #: True once the edge controller applied configure_edge.
+    edge_configured: bool = False
+    #: Handle of the next re-drive tick (cancelled on completion).
+    redrive: "EventHandle | None" = None

@@ -178,6 +178,59 @@ class ReplicatedStore:
 # ---------------------------------------------------------------------------
 
 _CHAIN_PREFIX = "/chains/"
+_INSTALL_PREFIX = "/installing/"
+
+
+def mark_install_phase(
+    store: ReplicatedStore,
+    chain_name: str,
+    phase: str,
+    loads: dict[tuple[str, str], float],
+) -> None:
+    """Durably record that an installation is in flight.
+
+    The bus-driven installer writes a marker when the 2PC starts
+    (``phase="committing"``) and when the route is published
+    (``phase="configuring"``), and clears it on completion or abort.  A
+    standby controller that takes over uses the markers to find chains
+    whose install died with the primary: a ``committing`` marker with no
+    checkpoint means reservations/commitments may exist at the recorded
+    (vnf, site) pairs with no coordinator left to resolve them -- the
+    standby tears those down.
+    """
+    store.put(
+        _INSTALL_PREFIX + chain_name,
+        {
+            "phase": phase,
+            "loads": {
+                f"{vnf}@{site}": load
+                for (vnf, site), load in loads.items()
+            },
+        },
+    )
+
+
+def clear_install_marker(store: ReplicatedStore, chain_name: str) -> None:
+    store.delete(_INSTALL_PREFIX + chain_name)
+
+
+def pending_install_markers(
+    store: ReplicatedStore,
+) -> dict[str, dict]:
+    """Every in-flight-install marker: chain name -> {phase, loads}."""
+    markers: dict[str, dict] = {}
+    for key in store.keys(_INSTALL_PREFIX):
+        record = store.get(key)
+        if record is None:
+            continue
+        markers[key[len(_INSTALL_PREFIX):]] = {
+            "phase": record["phase"],
+            "loads": {
+                tuple(pair.split("@", 1)): load
+                for pair, load in record["loads"].items()
+            },
+        }
+    return markers
 
 
 def checkpoint_installation(

@@ -15,7 +15,12 @@ prints the report; benchmarks opt in via the ``obs_registry`` fixture in
 ``benchmarks/_common.py`` (set ``REPRO_METRICS=1``).
 """
 
-from repro.obs.collect import collect_bus, collect_dataplane, collect_network
+from repro.obs.collect import (
+    collect_bus,
+    collect_dataplane,
+    collect_network,
+    collect_resilience,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -37,6 +42,7 @@ __all__ = [
     "collect_bus",
     "collect_dataplane",
     "collect_network",
+    "collect_resilience",
     "registry_to_dict",
     "registry_to_json",
     "render_report",

@@ -24,7 +24,10 @@ from repro.obs.registry import MetricsRegistry
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.bus.broadcast import FullMeshBus
     from repro.bus.bus import GlobalMessageBus
+    from repro.controller.protocol import BusDrivenInstaller
     from repro.dataplane.forwarder import DataPlane
+    from repro.resilience.failover import FailoverManager
+    from repro.resilience.sweeper import ReconciliationSweeper
     from repro.simnet.network import SimNetwork
 
 
@@ -56,6 +59,41 @@ def collect_bus(
     latency = registry.histogram("bus.collected_delivery_latency_s")
     for delivery in stats.deliveries:
         latency.observe(delivery.latency)
+
+
+def collect_resilience(
+    registry: MetricsRegistry,
+    installer: "BusDrivenInstaller",
+    failover: "FailoverManager | None" = None,
+    sweeper: "ReconciliationSweeper | None" = None,
+) -> None:
+    """Control-plane reliability totals: RPC delivery effort, install
+    outcomes, and (when running) failover/sweeper activity."""
+    rpc = installer.rpc
+    registry.gauge("rpc.sent_total").set(rpc.sent)
+    registry.gauge("rpc.acked_total").set(rpc.acked)
+    registry.gauge("rpc.retries_total").set(rpc.retries)
+    registry.gauge("rpc.timeouts_total").set(rpc.timeouts)
+    registry.gauge("rpc.duplicates_suppressed_total").set(
+        rpc.duplicates_suppressed
+    )
+    registry.gauge("rpc.outstanding").set(rpc.outstanding())
+    registry.gauge("install.deadline_aborts_total").set(
+        installer.deadline_aborts
+    )
+    registry.gauge("install.aborted_total").set(installer.aborted)
+    registry.gauge("resilience.inflight_installs").set(
+        len(installer._pending)
+    )
+    if failover is not None:
+        registry.gauge("failover.takeovers_total").set(failover.takeovers)
+    if sweeper is not None:
+        registry.gauge("sweeper.stale_reservations_total").set(
+            sweeper.stale_reservations_released
+        )
+        registry.gauge("sweeper.stalled_installs_total").set(
+            sweeper.stalled_installs_aborted
+        )
 
 
 def collect_dataplane(registry: MetricsRegistry, dataplane: "DataPlane") -> None:

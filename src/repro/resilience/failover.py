@@ -1,0 +1,203 @@
+"""Standby Global Switchboard: lease-based failover for the installer.
+
+Section 4.5's replication recipe gives the control plane a durable,
+quorum-replicated store; this module adds the process that uses it.  A
+:class:`FailoverManager` runs a sim-clock tick on behalf of a set of
+controller *candidates* (by convention ``gs-primary``/``gs-standby``,
+both fronting the same ``ctrl.gs`` role host):
+
+- while the active candidate's host is up, the tick simply **renews the
+  leader lease** (through the chaos :class:`LeaseMonitor` when given
+  one, so lease-safety stays checkable);
+- when the active candidate dies (a chaos ``gs_crash`` marks it dead
+  and crashes the host), the standby waits for the old lease to
+  **expire**, acquires it, and :meth:`takes over <take_over>`:
+  restarts the controller host, adopts every durable
+  :func:`~repro.controller.replication.restore_installations`
+  checkpoint missing from memory, **aborts** in-flight installs that
+  had not committed their route (their 2PC outcome is unknown -- the
+  teardown fence makes that safe), **re-drives** installs that had
+  committed (the durable checkpoint proves the capacity is theirs), and
+  resolves orphaned install markers -- re-applying the configuration of
+  published chains, tearing down chains that died mid-2PC.
+
+Everything runs on the simulated clock; the tick self-terminates at its
+horizon so a full event-queue drain still finishes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.controller.replication import (
+    ReplicatedStore,
+    ReplicationError,
+    pending_install_markers,
+    restore_installations,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chaos.invariants import LeaseMonitor
+    from repro.controller.protocol import BusDrivenInstaller
+    from repro.obs.registry import MetricsRegistry
+
+
+class FailoverManager:
+    """Keeps exactly one controller candidate driving the installer."""
+
+    def __init__(
+        self,
+        installer: "BusDrivenInstaller",
+        store: ReplicatedStore,
+        monitor: "LeaseMonitor | None" = None,
+        candidates: tuple[str, ...] = ("gs-primary", "gs-standby"),
+        lease_duration_s: float = 2.0,
+        check_interval_s: float = 0.5,
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        self.installer = installer
+        self.store = store
+        self.monitor = monitor
+        self.candidates = list(candidates)
+        self.active = self.candidates[0]
+        self.lease_duration_s = lease_duration_s
+        self.check_interval_s = check_interval_s
+        self.metrics = metrics
+        self.takeovers = 0
+        #: Candidates whose controller process has died (set by the
+        #: chaos ``gs_crash`` event); they stop renewing immediately.
+        self.dead: set[str] = set()
+        if metrics is not None:
+            metrics.counter("failover.takeovers")
+
+    def mark_dead(self, candidate: str) -> None:
+        self.dead.add(candidate)
+
+    def revive(self, candidate: str) -> None:
+        self.dead.discard(candidate)
+
+    # -- the election/renewal loop ----------------------------------------
+
+    def start(self, until: float) -> None:
+        """Run the renewal/election tick until the sim-clock horizon."""
+        self._tick(until)
+
+    def _tick(self, until: float) -> None:
+        self.check()
+        sim = self.installer.sim
+        if sim.now + self.check_interval_s <= until:
+            sim.schedule(self.check_interval_s, self._tick, until)
+
+    def check(self) -> None:
+        """One election step: renew, or fail over if the active died."""
+        installer = self.installer
+        now = installer.sim.now
+        if (
+            self.active not in self.dead
+            and installer.network.host_is_up(installer.gs_host)
+        ):
+            self._acquire(self.active, now)
+            return
+        standby = next(
+            (c for c in self.candidates if c not in self.dead), None
+        )
+        if standby is None:
+            return  # nobody left to lead
+        if self._leader(now) is not None:
+            return  # the dead leader's lease has not expired yet
+        if self._acquire(standby, now):
+            self.take_over(standby)
+
+    def _acquire(self, owner: str, now: float) -> bool:
+        if self.monitor is not None:
+            return self.monitor.acquire(owner, now, self.lease_duration_s)
+        try:
+            return self.store.acquire_lease(owner, now, self.lease_duration_s)
+        except ReplicationError:
+            return False
+
+    def _leader(self, now: float) -> str | None:
+        if self.monitor is not None:
+            return self.monitor.leader(now)
+        try:
+            return self.store.leader(now)
+        except ReplicationError:
+            return None
+
+    # -- takeover ---------------------------------------------------------
+
+    def take_over(self, owner: str) -> None:
+        """Make ``owner`` the active controller and reconcile all
+        control state against the durable store."""
+        self.takeovers += 1
+        if self.metrics is not None:
+            self.metrics.counter("failover.takeovers").inc()
+        installer = self.installer
+        gs = installer.gs
+        if not installer.network.host_is_up(installer.gs_host):
+            installer.network.restart_host(installer.gs_host)
+
+        # Adopt checkpointed installations the new controller does not
+        # hold in memory (committed chains survive their coordinator).
+        try:
+            restored = restore_installations(self.store)
+        except ReplicationError:
+            restored = {}
+        for name in sorted(restored):
+            gs.installations.setdefault(name, restored[name])
+
+        # In-flight installs: the route-commit milestone decides.
+        # Uncommitted 2PC outcomes are unknown -> abort (the teardown
+        # fence releases whatever participants hold).  Committed ones
+        # own their capacity durably -> re-arm the deadline and re-drive
+        # the configure phase.
+        for name in sorted(installer._pending):
+            pending = installer._pending[name]
+            if pending.timeline.route_committed_at is None:
+                installer.abort_install(name, "controller failover")
+            else:
+                installer.deadlines.arm(
+                    name,
+                    installer.resilience.install_deadline_s,
+                    installer._on_deadline,
+                )
+                installer.redrive(name)
+
+        # Install markers with no in-memory pending entry: the previous
+        # coordinator died holding them.
+        try:
+            markers = pending_install_markers(self.store)
+        except ReplicationError:
+            markers = {}
+        for name in sorted(markers):
+            if name in installer._pending:
+                continue
+            marker = markers[name]
+            if name in gs.installations and marker["phase"] == "configuring":
+                # Published before the crash: re-apply the idempotent
+                # configuration from the durable record.
+                installation = gs.installations[name]
+                gs._assign_instances(installation)
+                edge = gs.edge_controllers.get(installation.spec.edge_service)
+                if edge is not None:
+                    gs._configure_edges(installation, edge)
+                if name in gs.model.chains:
+                    gs._install_rules(installation)
+            else:
+                # Died mid-2PC: no durable commit record exists, so
+                # release the participants and forget the chain.
+                for vnf_name, site in sorted(marker["loads"]):
+                    if vnf_name in installer.vnf_hosts:
+                        installer.send_teardown(vnf_name, name, site)
+                if (
+                    name in gs.model.chains
+                    and name not in gs.installations
+                ):
+                    gs.router.rollback(name)
+                    gs.model.remove_chain(name)
+                if name not in gs.installations:
+                    gs.labels.release(name)
+                    installer._remove_checkpoint(name)
+            installer._clear_marker(name)
+
+        self.active = owner
