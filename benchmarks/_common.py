@@ -5,6 +5,14 @@ Every bench writes its paper-style table both to stdout and to
 EXPERIMENTS.md can be regenerated with
 ``pytest benchmarks/ --benchmark-only``.
 
+Besides the pytest entry points, every suite registers its measured
+function with :data:`REGISTRY` via the :func:`register_bench`
+decorator.  ``python -m repro bench`` (the ``repro.bench`` runner)
+imports the same modules, pulls the registered callables out of the
+registry, and times them with warmup/repeat control -- no pytest
+involved -- emitting machine-readable ``BENCH_<suite>.json`` documents
+next to the human-readable tables.
+
 Scale note: the paper's Section 7.3 simulations use the full AT&T
 backbone with 10 000 chains and CPLEX; this harness runs the identical
 formulations on the synthetic 25-PoP backbone with a reduced chain count
@@ -15,8 +23,11 @@ reproduction target, not absolute Gbps.
 
 from __future__ import annotations
 
+import inspect
 import os
-from typing import Sequence
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 import pytest
 
@@ -26,6 +37,80 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 def metrics_enabled() -> bool:
     """True when the REPRO_METRICS environment variable opts in."""
     return os.environ.get("REPRO_METRICS", "0") not in ("", "0")
+
+
+@dataclass(frozen=True)
+class BenchSuite:
+    """One registered benchmark suite: a measured callable plus its
+    timing policy and comparison tolerances.
+
+    ``fn`` is the exact function the pytest benchmark times via
+    ``benchmark.pedantic`` -- registration adds a second, pytest-free
+    entry point to the same code, it never forks the measured path.
+    """
+
+    name: str
+    fn: Callable[..., object]
+    module: str
+    warmup: int = 1
+    repeats: int = 3
+    #: Builds the scenario's NetworkModel so the result document can
+    #: embed its content digest (``None`` for suites without one model).
+    model_factory: Callable[[], object] | None = None
+    #: Whether ``fn`` accepts a ``metrics=`` registry (REPRO_METRICS=1).
+    accepts_metrics: bool = False
+    #: Per-suite comparison tolerances (see ``repro.bench.compare``):
+    #: a run regresses when its median exceeds the baseline median by
+    #: more than ``max(rel_tol * baseline_median, k * pooled_stddev)``.
+    rel_tol: float = 0.25
+    k: float = 3.0
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+
+#: Suite name -> BenchSuite, populated at import time by the
+#: ``bench_*.py`` modules.  ``repro.bench.discovery`` imports those
+#: modules and reads this mapping.
+REGISTRY: dict[str, BenchSuite] = {}
+
+
+def register_bench(
+    name: str,
+    *,
+    warmup: int = 1,
+    repeats: int = 3,
+    model_factory: Callable[[], object] | None = None,
+    rel_tol: float = 0.25,
+    k: float = 3.0,
+    tags: Sequence[str] = (),
+) -> Callable[[Callable[..., object]], Callable[..., object]]:
+    """Register ``fn`` as the measured entry point of suite ``name``.
+
+    By convention ``name`` equals the module filename minus its
+    ``bench_`` prefix, so ``python -m repro bench --suites X`` knows to
+    import ``bench_X.py`` without importing everything else.  The
+    decorated function is returned unchanged -- pytest keeps calling it
+    through ``benchmark.pedantic`` exactly as before.
+    """
+
+    def decorator(fn: Callable[..., object]) -> Callable[..., object]:
+        accepts_metrics = "metrics" in inspect.signature(fn).parameters
+        if name in REGISTRY and REGISTRY[name].fn is not fn:
+            raise ValueError(f"duplicate bench suite registration: {name!r}")
+        REGISTRY[name] = BenchSuite(
+            name=name,
+            fn=fn,
+            module=fn.__module__,
+            warmup=warmup,
+            repeats=repeats,
+            model_factory=model_factory,
+            accepts_metrics=accepts_metrics,
+            rel_tol=rel_tol,
+            k=k,
+            tags=tuple(tags),
+        )
+        return fn
+
+    return decorator
 
 
 @pytest.fixture
@@ -69,12 +154,35 @@ def format_table(
     return "\n".join(lines) + "\n"
 
 
+def write_atomic(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    Parallel benchmark runs (``pytest -n``) and the ``repro.bench``
+    runner may emit the same result file concurrently; the unique tmp
+    name keeps writers from clobbering each other mid-write and the
+    rename makes the final file appear whole or not at all.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=f".{os.path.basename(path)}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
 def emit(name: str, table: str) -> None:
     """Print a result table and persist it under benchmarks/results/."""
     print("\n" + table)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
-        fh.write(table)
+    write_atomic(os.path.join(RESULTS_DIR, f"{name}.txt"), table)
 
 
 def fmt(value: float, digits: int = 2) -> str:

@@ -7,7 +7,9 @@ SB-DP only at high coverage (>= 0.75), where the shortest-latency site
 is usually good enough; ONEHOP stays behind at every coverage.
 """
 
-from _common import emit, fmt, format_table
+from functools import partial
+
+from _common import emit, fmt, format_table, register_bench
 
 from repro.core.dp import DpConfig, route_chains_dp
 from repro.topology import WorkloadConfig, build_backbone, generate_workload
@@ -30,6 +32,9 @@ def make_model(coverage):
     return generate_workload(config, build_backbone(CITIES))
 
 
+@register_bench(
+    "fig13a_dp_ablation", model_factory=partial(make_model, 0.5)
+)
 def run_figure13a():
     rows = []
     for coverage in COVERAGES:
@@ -72,7 +77,7 @@ def test_fig13a_dp_ablation(benchmark):
         ),
     )
 
-    for cov, full, lat, hop in rows:
+    for _cov, full, lat, hop in rows:
         assert full >= lat - 1e-6
         assert full >= hop - 1e-6
     # Both ablation gaps are material somewhere in the sweep.

@@ -21,7 +21,7 @@ Measured here on a 128-chain workload:
 
 import time
 
-from _common import emit, fmt, format_table
+from _common import emit, fmt, format_table, register_bench
 
 from repro.core.lp import LpObjective, solve_chain_routing_lp
 from repro.obs import MetricsRegistry
@@ -47,6 +47,9 @@ def make_model():
     return generate_workload(config, build_backbone(CITIES))
 
 
+@register_bench(
+    "scale_solver_farm", warmup=0, repeats=2, model_factory=make_model
+)
 def run_solver_farm():
     model = make_model()
     registry = MetricsRegistry()

@@ -1,0 +1,83 @@
+"""``repro.bench`` -- machine-readable benchmark harness.
+
+The measurement substrate for the repo's performance story: a
+programmatic runner over the ``benchmarks/bench_*.py`` suites (the same
+functions pytest-benchmark times -- no pytest subprocess), canonical
+``BENCH_<suite>.json`` result documents, a committed baseline store,
+and a noise-aware comparator that turns "the solver farm got slower"
+into a failing CI job instead of a silent drift.
+
+Entry point: ``python -m repro bench`` (see ``repro.cli``).
+
+Layout::
+
+    discovery   import bench modules, read the suite registry
+    runner      warmup/repeat execution, perf_counter sampling
+    stats       min/median/mean/stddev/IQR, pooled stddev
+    report      canonical JSON documents, atomic writes
+    baselines   benchmarks/baselines/*.json store
+    compare     noise-aware regression verdicts, CI widening
+"""
+
+from repro.bench.baselines import (
+    baseline_path,
+    default_baseline_dir,
+    list_baselines,
+    load_baseline,
+    save_baseline,
+)
+from repro.bench.compare import (
+    MIN_ABS_SLACK_S,
+    Comparison,
+    Tolerance,
+    ci_mode_enabled,
+    compare_documents,
+    compare_stats,
+)
+from repro.bench.discovery import available_suites, default_bench_dir, discover
+from repro.bench.env import environment_fingerprint, git_sha
+from repro.bench.errors import BenchError, BenchUsageError
+from repro.bench.report import (
+    SCHEMA,
+    build_document,
+    canonical_json,
+    document_path,
+    document_stats,
+    load_document,
+    write_document,
+)
+from repro.bench.runner import SuiteRun, run_suite
+from repro.bench.stats import SampleStats, StatsError, pooled_stddev
+
+__all__ = [
+    "MIN_ABS_SLACK_S",
+    "SCHEMA",
+    "BenchError",
+    "BenchUsageError",
+    "Comparison",
+    "SampleStats",
+    "StatsError",
+    "SuiteRun",
+    "Tolerance",
+    "available_suites",
+    "baseline_path",
+    "build_document",
+    "canonical_json",
+    "ci_mode_enabled",
+    "compare_documents",
+    "compare_stats",
+    "default_baseline_dir",
+    "default_bench_dir",
+    "discover",
+    "document_path",
+    "document_stats",
+    "environment_fingerprint",
+    "git_sha",
+    "list_baselines",
+    "load_baseline",
+    "load_document",
+    "pooled_stddev",
+    "run_suite",
+    "save_baseline",
+    "write_document",
+]

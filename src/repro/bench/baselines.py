@@ -1,0 +1,49 @@
+"""The committed baseline store (``benchmarks/baselines/*.json``).
+
+A baseline is simply a previously blessed result document; the
+comparator reads its ``stats`` section.  ``--update-baselines``
+regenerates them; the ``refresh-baselines`` CI job does the same on a
+runner and uploads the directory for manual commit, so baseline churn
+always goes through review.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.bench.discovery import default_bench_dir
+from repro.bench.report import load_document, write_document
+
+
+def default_baseline_dir() -> Path:
+    return default_bench_dir() / "baselines"
+
+
+def baseline_path(baseline_dir: Path, suite_name: str) -> Path:
+    return Path(baseline_dir) / f"{suite_name}.json"
+
+
+def load_baseline(
+    baseline_dir: Path, suite_name: str
+) -> dict[str, Any] | None:
+    """The stored baseline document, or ``None`` when not committed."""
+    path = baseline_path(baseline_dir, suite_name)
+    if not path.is_file():
+        return None
+    return load_document(path)
+
+
+def save_baseline(
+    baseline_dir: Path, document: Mapping[str, Any]
+) -> Path:
+    return write_document(
+        baseline_path(baseline_dir, document["suite"]), document
+    )
+
+
+def list_baselines(baseline_dir: Path) -> list[str]:
+    directory = Path(baseline_dir)
+    if not directory.is_dir():
+        return []
+    return sorted(p.stem for p in directory.glob("*.json"))

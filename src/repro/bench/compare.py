@@ -1,0 +1,145 @@
+"""Noise-aware baseline comparison.
+
+A suite *regresses* when its current median is slower than the baseline
+median by more than the allowed slack::
+
+    slack = max(rel_tol * baseline_median,
+                k * pooled_stddev(current, baseline),
+                MIN_ABS_SLACK_S)
+
+``rel_tol`` and ``k`` are per-suite (registered with the suite, stored
+in its documents); the stddev term lets genuinely noisy suites breathe
+without loosening the bound on quiet ones, and the absolute floor keeps
+microsecond-scale suites from flapping on scheduler jitter.
+
+``REPRO_BENCH_CI=1`` widens both knobs (shared CI runners see noisy
+neighbours, frequency scaling, and cold caches); the committed
+baselines can therefore be produced on any reasonable machine and still
+gate only real, large regressions in CI.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.bench.report import document_stats
+from repro.bench.stats import SampleStats, pooled_stddev
+
+#: Absolute slack floor: differences below this are scheduler noise.
+MIN_ABS_SLACK_S = 1e-4
+
+#: ``REPRO_BENCH_CI=1`` multiplies the tolerances by these factors.
+CI_REL_TOL_FACTOR = 4.0
+CI_K_FACTOR = 2.0
+
+
+def ci_mode_enabled() -> bool:
+    return os.environ.get("REPRO_BENCH_CI", "0") not in ("", "0")
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Per-suite comparison knobs (see module docstring)."""
+
+    rel_tol: float = 0.25
+    k: float = 3.0
+
+    def widened_for_ci(self) -> "Tolerance":
+        return Tolerance(
+            rel_tol=self.rel_tol * CI_REL_TOL_FACTOR,
+            k=self.k * CI_K_FACTOR,
+        )
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Verdict of one suite against its baseline."""
+
+    suite: str
+    baseline_median_s: float
+    current_median_s: float
+    slack_s: float
+    regressed: bool
+    improved: bool
+    digest_changed: bool
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_median_s == 0.0:
+            return float("inf") if self.current_median_s > 0 else 1.0
+        return self.current_median_s / self.baseline_median_s
+
+    def render(self) -> str:
+        verdict = (
+            "REGRESSION" if self.regressed
+            else "improved" if self.improved
+            else "ok"
+        )
+        line = (
+            f"{self.suite:<28} {verdict:<10} "
+            f"median {self.current_median_s:.4f}s "
+            f"vs baseline {self.baseline_median_s:.4f}s "
+            f"({self.ratio:.2f}x, slack {self.slack_s:.4f}s)"
+        )
+        if self.digest_changed:
+            line += "  [scenario digest changed: timings not comparable]"
+        return line
+
+
+def compare_stats(
+    suite_name: str,
+    current: SampleStats,
+    baseline: SampleStats,
+    tolerance: Tolerance,
+    *,
+    digest_changed: bool = False,
+) -> Comparison:
+    if ci_mode_enabled():
+        tolerance = tolerance.widened_for_ci()
+    slack = max(
+        tolerance.rel_tol * baseline.median,
+        tolerance.k * pooled_stddev(current, baseline),
+        MIN_ABS_SLACK_S,
+    )
+    delta = current.median - baseline.median
+    return Comparison(
+        suite=suite_name,
+        baseline_median_s=baseline.median,
+        current_median_s=current.median,
+        slack_s=slack,
+        # A changed scenario digest means the workload itself changed;
+        # flagging that as a perf regression would be a false positive.
+        regressed=delta > slack and not digest_changed,
+        improved=delta < -slack,
+        digest_changed=digest_changed,
+    )
+
+
+def compare_documents(
+    current: Mapping[str, Any], baseline: Mapping[str, Any]
+) -> Comparison:
+    """Compare two result documents (current run vs stored baseline).
+
+    The tolerance comes from the *current* document -- the suite's live
+    registration wins over whatever was in force when the baseline was
+    blessed.
+    """
+    tol_doc = current.get("tolerance") or {}
+    tolerance = Tolerance(
+        rel_tol=float(tol_doc.get("rel_tol", Tolerance.rel_tol)),
+        k=float(tol_doc.get("k", Tolerance.k)),
+    )
+    digest_changed = (
+        current.get("model_digest") is not None
+        and baseline.get("model_digest") is not None
+        and current["model_digest"] != baseline["model_digest"]
+    )
+    return compare_stats(
+        str(current.get("suite", "?")),
+        document_stats(current),
+        document_stats(baseline),
+        tolerance,
+        digest_changed=digest_changed,
+    )

@@ -1,0 +1,105 @@
+"""Suite discovery: import ``benchmarks/bench_*.py`` and read the registry.
+
+The benchmark modules double as pytest files and as plain modules; each
+one registers its measured function in ``_common.REGISTRY`` at import
+time via the ``register_bench`` decorator.  Discovery adds the
+benchmarks directory to ``sys.path`` (so the modules' own
+``from _common import ...`` lines resolve) and imports only the modules
+whose suites were requested -- suite names equal the module filename
+minus its ``bench_`` prefix, so a targeted ``--suites`` run never pays
+the import cost of unrelated suites.
+
+Suites registered directly into ``_common.REGISTRY`` (tests do this to
+inject synthetic workloads) are honoured without a module import.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.bench.errors import BenchUsageError
+
+#: Environment override for the benchmarks directory.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+def default_bench_dir() -> Path:
+    """The repo's ``benchmarks/`` directory.
+
+    Resolution order: ``$REPRO_BENCH_DIR``, the checkout layout relative
+    to this file (``src/repro/bench`` -> repo root), then
+    ``./benchmarks`` under the current working directory.
+    """
+    override = os.environ.get(BENCH_DIR_ENV)
+    if override:
+        return Path(override)
+    checkout = Path(__file__).resolve().parents[3] / "benchmarks"
+    if checkout.is_dir():
+        return checkout
+    return Path.cwd() / "benchmarks"
+
+
+def available_suites(bench_dir: Path | None = None) -> list[str]:
+    """Suite names present on disk (no imports)."""
+    directory = bench_dir or default_bench_dir()
+    if not directory.is_dir():
+        raise BenchUsageError(f"benchmarks directory not found: {directory}")
+    return sorted(
+        p.stem[len("bench_"):]
+        for p in directory.glob("bench_*.py")
+    )
+
+
+def _registry() -> Mapping[str, Any]:
+    import _common  # deferred: needs the benchmarks dir on sys.path
+
+    return _common.REGISTRY
+
+
+def discover(
+    suites: Iterable[str] | None = None,
+    bench_dir: Path | None = None,
+) -> dict[str, Any]:
+    """Import the requested suites and return their registry entries.
+
+    ``suites=None`` discovers everything on disk.  Unknown names raise
+    :class:`BenchUsageError` listing what is available.
+    """
+    directory = (bench_dir or default_bench_dir()).resolve()
+    if not directory.is_dir():
+        raise BenchUsageError(f"benchmarks directory not found: {directory}")
+    path_entry = str(directory)
+    if path_entry not in sys.path:
+        sys.path.insert(0, path_entry)
+
+    on_disk = set(available_suites(directory))
+    registry = _registry()
+    if suites is None:
+        wanted = sorted(on_disk | set(registry))
+    else:
+        wanted = list(dict.fromkeys(suites))  # de-dup, keep order
+        unknown = [
+            name for name in wanted
+            if name not in on_disk and name not in registry
+        ]
+        if unknown:
+            raise BenchUsageError(
+                f"unknown suite(s): {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(on_disk | set(registry)))}"
+            )
+
+    selected: dict[str, Any] = {}
+    for name in wanted:
+        if name not in registry:
+            importlib.import_module(f"bench_{name}")
+            registry = _registry()
+        if name not in registry:
+            raise BenchUsageError(
+                f"module bench_{name}.py did not register suite {name!r}"
+            )
+        selected[name] = registry[name]
+    return selected

@@ -1,0 +1,16 @@
+"""Exception taxonomy for the benchmark harness.
+
+The CLI maps these onto its exit-code contract: usage problems
+(unknown suite, missing baseline, bad flags) exit 2, regressions exit 1,
+everything green exits 0.
+"""
+
+from __future__ import annotations
+
+
+class BenchError(Exception):
+    """Base class for benchmark-harness failures."""
+
+
+class BenchUsageError(BenchError):
+    """The invocation itself is wrong (exit code 2 territory)."""

@@ -1,0 +1,105 @@
+"""Canonical machine-readable result documents (``BENCH_<suite>.json``).
+
+One document per suite, written atomically, serialized canonically
+(sorted keys, two-space indent, trailing newline, repr-exact floats).
+Canonical form is what makes baselines diff-friendly in git and lets a
+load/save round trip reproduce the file byte-for-byte.
+
+Deliberately no timestamps: a baseline regenerated from identical
+samples must be byte-identical, and committed baselines should not churn
+on re-runs that change nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.bench.env import environment_fingerprint, git_sha
+from repro.bench.errors import BenchError
+from repro.bench.runner import SuiteRun
+from repro.bench.stats import SampleStats
+
+#: Document schema identifier; bump on incompatible shape changes.
+SCHEMA = "repro.bench/v1"
+
+
+def build_document(
+    run: SuiteRun,
+    suite: Any,
+    *,
+    environment: Mapping[str, Any] | None = None,
+    sha: str | None = None,
+) -> dict[str, Any]:
+    """Assemble the canonical result document for one suite run."""
+    return {
+        "schema": SCHEMA,
+        "suite": run.suite,
+        "warmup": run.warmup,
+        "samples_s": list(run.samples),
+        "stats": run.stats.to_dict(),
+        "model_digest": run.model_digest,
+        "environment": dict(
+            environment_fingerprint() if environment is None else environment
+        ),
+        "git_sha": git_sha() if sha is None else sha,
+        "tolerance": {"rel_tol": suite.rel_tol, "k": suite.k},
+        "metrics": run.metrics,
+    }
+
+
+def canonical_json(document: Mapping[str, Any]) -> str:
+    return (
+        json.dumps(document, indent=2, sort_keys=True, allow_nan=False)
+        + "\n"
+    )
+
+
+def document_path(out_dir: Path, suite_name: str) -> Path:
+    return Path(out_dir) / f"BENCH_{suite_name}.json"
+
+
+def write_document(path: Path, document: Mapping[str, Any]) -> Path:
+    """Atomically write a document (tmp file + ``os.replace``)."""
+    import os
+    import tempfile
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(canonical_json(document))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_document(path: Path) -> dict[str, Any]:
+    path = Path(path)
+    try:
+        with path.open() as fh:
+            document = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchError(f"cannot read result document {path}: {exc}") from exc
+    if document.get("schema") != SCHEMA:
+        raise BenchError(
+            f"{path}: unsupported schema {document.get('schema')!r} "
+            f"(expected {SCHEMA!r})"
+        )
+    return document
+
+
+def document_stats(document: Mapping[str, Any]) -> SampleStats:
+    try:
+        return SampleStats.from_dict(document["stats"])
+    except KeyError as exc:
+        raise BenchError(f"result document missing {exc}") from exc

@@ -1,0 +1,100 @@
+"""Execute registered suites with warmup/repeat control.
+
+The runner calls the *same* function pytest benchmarks time via
+``benchmark.pedantic`` -- it never shells out to pytest and never forks
+the measured code path.  Warmup iterations run first and are discarded
+(they absorb one-time costs: imports already paid, ``lru_cache`` fills,
+allocator warm-up); each timed repeat is measured with
+``time.perf_counter`` and recorded as one sample.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bench.stats import SampleStats
+
+
+@dataclass
+class SuiteRun:
+    """One measured execution of a suite: samples plus context."""
+
+    suite: str
+    samples: list[float]
+    warmup: int
+    stats: SampleStats
+    model_digest: str | None = None
+    metrics: dict[str, Any] | None = None
+    #: The measured function's last return value.  Not serialized --
+    #: callers that want to post-process results (tables, assertions)
+    #: read it in-process.
+    returned: Any = field(default=None, repr=False)
+
+
+def run_suite(
+    suite: Any,
+    *,
+    warmup: int | None = None,
+    repeats: int | None = None,
+    capture_metrics: bool = False,
+) -> SuiteRun:
+    """Run one registered :class:`~_common.BenchSuite` and collect stats.
+
+    ``warmup``/``repeats`` override the suite's registered policy (the
+    CLI exposes them as flags).  With ``capture_metrics`` true and a
+    suite whose function accepts a ``metrics=`` registry, one
+    :class:`~repro.obs.MetricsRegistry` accumulates across the timed
+    repeats and its JSON snapshot lands in the result document --
+    sim-clock histograms, WAN drop counters, span timings.
+    """
+    warmup_n = suite.warmup if warmup is None else warmup
+    repeats_n = suite.repeats if repeats is None else repeats
+    if repeats_n < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats_n}")
+    if warmup_n < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup_n}")
+
+    registry = None
+    kwargs: dict[str, Any] = {}
+    if capture_metrics and suite.accepts_metrics:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        kwargs["metrics"] = registry
+
+    for _ in range(warmup_n):
+        suite.fn(**kwargs)
+    if registry is not None:
+        # Warmup traffic must not pollute the recorded metrics.
+        registry = type(registry)()
+        kwargs["metrics"] = registry
+
+    samples: list[float] = []
+    returned: Any = None
+    for _ in range(repeats_n):
+        start = time.perf_counter()
+        returned = suite.fn(**kwargs)
+        samples.append(time.perf_counter() - start)
+
+    digest: str | None = None
+    if suite.model_factory is not None:
+        model = suite.model_factory()
+        digest = model.digest()
+
+    metrics_doc: dict[str, Any] | None = None
+    if registry is not None:
+        from repro.obs import registry_to_dict
+
+        metrics_doc = registry_to_dict(registry)
+
+    return SuiteRun(
+        suite=suite.name,
+        samples=samples,
+        warmup=warmup_n,
+        stats=SampleStats.from_samples(samples),
+        model_digest=digest,
+        metrics=metrics_doc,
+        returned=returned,
+    )

@@ -1,0 +1,108 @@
+"""Sample statistics for benchmark timings.
+
+Pure-python (no numpy dependency in the hot path of the harness) and
+deterministic: the same samples always produce the same stats, and the
+stats serialize to JSON with Python's exact ``repr`` float round-trip,
+which is what lets baseline documents round-trip byte-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+
+class StatsError(ValueError):
+    """Raised on empty or malformed sample sets."""
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an ascending-sorted sequence."""
+    if not ordered:
+        raise StatsError("percentile of an empty sample set")
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Summary of one suite's timing samples (seconds)."""
+
+    n: int
+    min: float
+    max: float
+    mean: float
+    median: float
+    stddev: float
+    iqr: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "SampleStats":
+        if not samples:
+            raise StatsError("no samples")
+        if any(s < 0 or not math.isfinite(s) for s in samples):
+            raise StatsError(f"invalid samples: {samples!r}")
+        ordered = sorted(samples)
+        n = len(ordered)
+        mean = math.fsum(ordered) / n
+        if n >= 2:
+            variance = math.fsum((s - mean) ** 2 for s in ordered) / (n - 1)
+            stddev = math.sqrt(variance)
+        else:
+            stddev = 0.0
+        return cls(
+            n=n,
+            min=ordered[0],
+            max=ordered[-1],
+            mean=mean,
+            median=_percentile(ordered, 0.5),
+            stddev=stddev,
+            iqr=_percentile(ordered, 0.75) - _percentile(ordered, 0.25),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n": self.n,
+            "min_s": self.min,
+            "max_s": self.max,
+            "mean_s": self.mean,
+            "median_s": self.median,
+            "stddev_s": self.stddev,
+            "iqr_s": self.iqr,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SampleStats":
+        try:
+            return cls(
+                n=int(data["n"]),
+                min=float(data["min_s"]),
+                max=float(data["max_s"]),
+                mean=float(data["mean_s"]),
+                median=float(data["median_s"]),
+                stddev=float(data["stddev_s"]),
+                iqr=float(data["iqr_s"]),
+            )
+        except KeyError as exc:
+            raise StatsError(f"stats document missing field {exc}") from exc
+
+
+def pooled_stddev(a: SampleStats, b: SampleStats) -> float:
+    """Pooled standard deviation of two sample sets.
+
+    Weights each stddev by its degrees of freedom; single-sample sets
+    contribute nothing (their stddev is undefined, recorded as 0), so a
+    pair of 1-sample runs pools to 0 and the comparator falls back to
+    its relative tolerance alone.
+    """
+    dof = (a.n - 1) + (b.n - 1)
+    if dof <= 0:
+        return 0.0
+    pooled_var = ((a.n - 1) * a.stddev**2 + (b.n - 1) * b.stddev**2) / dof
+    return math.sqrt(pooled_var)

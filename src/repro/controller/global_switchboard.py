@@ -226,7 +226,7 @@ class GlobalSwitchboard:
         installation = self._installation(chain_name)
         for (vnf_name, site), load in installation.committed_load.items():
             self.vnf_services[vnf_name].release(chain_name, site, load)
-        for site, local in self.locals.items():
+        for local in self.locals.values():
             local.remove_chain_rules(installation.label, installation.egress_site)
         edge = self.edge_controllers.get(installation.spec.edge_service)
         if edge is not None:

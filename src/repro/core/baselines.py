@@ -49,7 +49,10 @@ def _nearest_site_path(model: NetworkModel, chain: Chain) -> list[str] | None:
         dests = model.stage_destinations(chain, z)
         if not dests:
             return None
-        best = min(dests, key=lambda dst: (model.site_latency(current, dst), dst))
+        best = min(
+            dests,
+            key=lambda dst, at=current: (model.site_latency(at, dst), dst),
+        )
         path.append(best)
         current = best
     return path
@@ -71,7 +74,7 @@ def route_compute_aware(model: NetworkModel) -> RoutingSolution:
     vnf_load: dict[tuple[str, str], float] = defaultdict(float)
     site_load: dict[str, float] = defaultdict(float)
 
-    for name, chain in model.chains.items():
+    for chain in model.chains.values():
         _route_one_compute_aware(model, chain, solution, vnf_load, site_load)
         _trim_to_goodput(solution, chain)
     return solution
@@ -136,7 +139,7 @@ def _route_one_compute_aware(
             remaining = frac
             for dst in sorted(
                 model.vnf_sites(vnf_name),
-                key=lambda s: (model.site_latency(src, s), s),
+                key=lambda s, src=src: (model.site_latency(src, s), s),
             ):
                 if remaining <= _EPS:
                     break

@@ -157,7 +157,7 @@ def plan_cloud_capacity(
     # divided among its VNF instances, so extra site capacity grows each
     # hosted VNF proportionally).
     site_coeffs: dict[str, dict[int, float]] = {}
-    for (vnf, site), coeffs in vnf_site_coeffs.items():
+    for (_vnf, site), coeffs in vnf_site_coeffs.items():
         merged = site_coeffs.setdefault(site, {})
         for col, val in coeffs.items():
             merged[col] = merged.get(col, 0.0) + val
@@ -425,7 +425,7 @@ def plan_vnf_placement(
             add_row(coeffs, -np.inf, cap)
 
     site_coeffs: dict[str, dict[int, float]] = {}
-    for (vnf_name, site), coeffs in vnf_site_coeffs.items():
+    for (_vnf_name, site), coeffs in vnf_site_coeffs.items():
         merged = site_coeffs.setdefault(site, {})
         for col, val in coeffs.items():
             merged[col] = merged.get(col, 0.0) + val

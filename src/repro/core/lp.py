@@ -209,7 +209,7 @@ def solve_chain_routing_lp(
         add_ub(coeffs, cap)
 
     site_coeffs: dict[str, dict[int, float]] = {}
-    for (vnf_name, site), coeffs in vnf_site_coeffs.items():
+    for (_vnf_name, site), coeffs in vnf_site_coeffs.items():
         merged = site_coeffs.setdefault(site, {})
         for col, val in coeffs.items():
             merged[col] = merged.get(col, 0.0) + val

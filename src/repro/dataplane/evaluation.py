@@ -54,7 +54,7 @@ def decompose_paths(
         path = [chain.ingress]
         amounts: list[float] = []
         ok = True
-        for z, flows in enumerate(residual):
+        for flows in residual:
             current = path[-1]
             candidates = {
                 dst: frac
@@ -64,7 +64,7 @@ def decompose_paths(
             if not candidates:
                 ok = False
                 break
-            dst = max(candidates, key=lambda d: (candidates[d], d))
+            dst, _ = max(candidates.items(), key=lambda kv: (kv[1], kv[0]))
             amounts.append(candidates[dst])
             path.append(dst)
         if not ok or not amounts:

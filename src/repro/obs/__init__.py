@@ -16,6 +16,7 @@ prints the report; benchmarks opt in via the ``obs_registry`` fixture in
 """
 
 from repro.obs.collect import (
+    collect_bench,
     collect_bus,
     collect_dataplane,
     collect_network,
@@ -39,6 +40,7 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "TraceError",
+    "collect_bench",
     "collect_bus",
     "collect_dataplane",
     "collect_network",

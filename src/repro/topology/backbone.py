@@ -11,6 +11,7 @@ Equation 6 network-cost constraint.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Sequence
 
 import networkx as nx
@@ -87,7 +88,7 @@ def build_backbone(
     for city in cities:
         others = sorted(
             (c for c in cities if c.name != city.name),
-            key=lambda c: fibre_delay_ms(city, c),
+            key=partial(fibre_delay_ms, city),
         )
         for other in others[:neighbours]:
             graph.add_edge(
@@ -122,7 +123,7 @@ def build_backbone(
 
     # Directed links with heterogeneous capacities.
     links: list[Link] = []
-    for a, b, attrs in graph.edges(data=True):
+    for a, b in graph.edges():
         is_core = (
             graph.degree[a] >= core_degree_threshold
             and graph.degree[b] >= core_degree_threshold

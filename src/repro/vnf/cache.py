@@ -188,7 +188,7 @@ def run_cache_experiment(
     total_ms = 0.0
     hits = 0
     requests = 0
-    for round_idx in range(requests_per_chain):
+    for _ in range(requests_per_chain):
         for chain_idx in range(num_chains):
             obj = f"obj-{workloads[chain_idx].sample()}"
             hit = caches[chain_idx].get(obj)

@@ -65,8 +65,8 @@ def fabric():
     return dp, f_in, f_g, (g1, g2), sink
 
 
-def send(dp, i, direction="forward", labels=Labels(1, "E")):
-    packet = Packet(flow(i), labels=labels)
+def send(dp, i, direction="forward", labels=None):
+    packet = Packet(flow(i), labels=labels if labels is not None else Labels(1, "E"))
     if direction == "forward":
         return dp.send_forward(packet, "f.in", "ingress-edge")
     packet.flow = packet.flow.reversed()

@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro.dataplane import DataPlane, Forwarder, LoadBalancingRule, WeightedChoice
+from repro.dataplane.forwarder import ForwardingError
 from repro.dataplane.labels import FiveTuple, Labels, Packet
 from repro.edge.classifier import ClassifierError, ClassifierRule, EgressTable, ip_in_prefix
 from repro.edge.controller import EdgeController
@@ -122,7 +123,7 @@ class TestEdgeInstance:
 
     def test_reverse_without_state_raises(self):
         _dp, _ingress, egress = make_edge_fabric()
-        with pytest.raises(Exception):
+        with pytest.raises(ForwardingError):
             egress.send_reverse(Packet(FLOW.reversed()))
 
     def test_ingress_without_forwarder_raises(self):

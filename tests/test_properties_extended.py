@@ -197,7 +197,7 @@ def test_vnf_placement_capacity_conserved(coverage, num_vnfs, seed):
     for vnf in vnfs:
         for site, cap in vnf.site_capacity.items():
             per_site[site] = per_site.get(site, 0.0) + cap
-    for site, total in per_site.items():
+    for total in per_site.values():
         assert total <= 100.0 + 1e-6
     # Every VNF got the right number of sites.
     expected = max(1, round(coverage * len(sites)))

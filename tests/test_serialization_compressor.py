@@ -5,7 +5,7 @@ import pytest
 from repro.controller.chainspec import ChainSpecification
 from repro.core.dp import route_chains_dp
 from repro.core.lp import LpObjective, solve_chain_routing_lp
-from repro.core.model import Chain, CloudSite, Link, NetworkModel, VNF
+from repro.core.model import Chain, CloudSite, Link, ModelError, NetworkModel, VNF
 from repro.core.serialization import (
     SerializationError,
     model_from_json,
@@ -82,7 +82,7 @@ class TestModelSerialization:
         doc = model_to_json(full_model()).replace(
             '"node": "a"', '"node": "ghost"'
         )
-        with pytest.raises(Exception):
+        with pytest.raises(ModelError):
             model_from_json(doc)
 
 

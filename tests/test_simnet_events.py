@@ -125,7 +125,7 @@ class TestRunControl:
 
     def test_events_processed_counter(self):
         sim = Simulator()
-        for i in range(3):
+        for _ in range(3):
             sim.schedule(1.0, lambda: None)
         sim.run()
         assert sim.events_processed == 3

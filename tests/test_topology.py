@@ -85,7 +85,7 @@ class TestBackbone:
     def test_routing_fractions_sum_to_path_length(self, backbone):
         # For each pair, every shortest path has the same hop structure:
         # fractions over links out of the source must sum to 1.
-        for (n1, n2), fractions in list(backbone.routing.items())[:200]:
+        for (n1, _n2), fractions in list(backbone.routing.items())[:200]:
             out_fracs = sum(
                 frac
                 for link_name, frac in fractions.items()
