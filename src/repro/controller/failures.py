@@ -249,6 +249,10 @@ def fail_link(gs: GlobalSwitchboard, a: str, b: str) -> FailureReport:
         if key not in stash:  # idempotent re-fail keeps the original
             stash[key] = gs.model._latency.get(key)
         gs.model._latency[key] = _INF
+    # The in-place latency edit bypasses the model's cache maintenance:
+    # columnar views and digests must not keep serving pre-failure
+    # delays (the LP matrix cache keys on the digest).
+    gs.model.invalidate_substrate()
 
     report = FailureReport(f"{n1}<->{n2}", kind="link")
     report.affected_chains = chains_through_link(gs, n1, n2)
@@ -280,3 +284,4 @@ def restore_link(gs: GlobalSwitchboard, a: str, b: str) -> None:
             restored = True
     if not restored:
         raise FailureError(f"link {a!r} <-> {b!r} is not failed")
+    gs.model.invalidate_substrate()

@@ -22,12 +22,15 @@ from __future__ import annotations
 
 import random
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, linprog, milp
-from scipy.sparse import csr_matrix
+from scipy.sparse import csc_matrix, csr_matrix
 
+from repro.core import highs as highs_backend
+from repro.core.columns import ragged_gather
 from repro.core.model import CloudSite, NetworkModel, VNF
 from repro.core.routes import RoutingSolution
 
@@ -60,6 +63,381 @@ class CloudCapacityPlan:
         ]
 
 
+# ---------------------------------------------------------------------------
+# Columnar assembly with structure caching (mirrors repro.core.lp)
+# ---------------------------------------------------------------------------
+
+_KIND_CONST = 0
+_KIND_TOTAL = 1  # entry scales with (w_cz + v_cz)
+_KIND_FWD = 2  # entry scales with w_cz
+_KIND_REV = 3  # entry scales with v_cz
+
+
+@dataclass
+class _CapacityStructure:
+    """Cloud-capacity LP structure that survives capacity/demand changes.
+
+    Everything numeric that a budget sweep changes -- site capacities,
+    per-site VNF capacities, headroom, the budget itself, and demand
+    magnitudes -- is refreshed into the data vector and RHS per call;
+    the sparsity pattern and row order are fixed.
+    """
+
+    n_flow: int
+    n_total: int
+    alpha_index: int
+    site_names: list[str]  # dict order; site var i = n_flow + i
+    # UB block (COO); demand-scaled entries carry a stage row id.
+    ub_rows: np.ndarray
+    ub_cols: np.ndarray
+    ub_base: np.ndarray
+    ub_kind: np.ndarray
+    ub_stage: np.ndarray
+    n_ub: int
+    # Relief entries on the (VNF, site) rows: value -cap/site_cap is
+    # recomputed from the current model each call.
+    relief_rows: np.ndarray
+    relief_cols: np.ndarray
+    relief_pairs: list[tuple[str, str]]  # (vnf name, site name)
+    # EQ block: fully demand-independent, rhs all zero.
+    eq_rows: np.ndarray
+    eq_cols: np.ndarray
+    eq_data: np.ndarray
+    n_eq: int
+    # RHS refresh descriptors (row -> where the bound comes from).
+    site_rows: list[tuple[int, str]]
+    vnf_rows: list[tuple[int, str, str]]
+    budget_row: int
+    link_rows: list[tuple[int, str]]
+    # Demand refresh table and extraction arrays.
+    stage_key: list[tuple[str, int]]  # (chain name, z) per stage row
+    var_stage: np.ndarray
+    stage_chain_name: list[str]
+    stage_z: np.ndarray
+    var_src_name: np.ndarray  # object arrays of endpoint names
+    var_dst_name: np.ndarray
+    seed_columns: np.ndarray
+    cg_solver: object | None = None
+
+    def refreshed_stage_demands(
+        self, model: NetworkModel
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        fwd = np.array(
+            [model.chains[c].forward_traffic[z - 1] for c, z in self.stage_key]
+        )
+        rev = np.array(
+            [model.chains[c].reverse_traffic[z - 1] for c, z in self.stage_key]
+        )
+        return fwd, rev, fwd + rev
+
+    def refreshed_ub(
+        self, model: NetworkModel, budget: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(rows, cols, data, b_ub) under current capacities/demands."""
+        fwd, rev, total = self.refreshed_stage_demands(model)
+        data = self.ub_base.copy()
+        for kind, scale in (
+            (_KIND_TOTAL, total),
+            (_KIND_FWD, fwd),
+            (_KIND_REV, rev),
+        ):
+            idx = np.flatnonzero(self.ub_kind == kind)
+            if idx.size:
+                data[idx] *= scale[self.ub_stage[idx]]
+        relief = np.array(
+            [
+                -model.vnfs[v].site_capacity.get(s, 0.0)
+                / model.sites[s].capacity
+                for v, s in self.relief_pairs
+            ]
+        )
+        rows = np.concatenate([self.ub_rows, self.relief_rows])
+        cols = np.concatenate([self.ub_cols, self.relief_cols])
+        data = np.concatenate([data, relief])
+
+        b_ub = np.zeros(self.n_ub)
+        for row, site in self.site_rows:
+            b_ub[row] = model.sites[site].capacity
+        for row, vnf, site in self.vnf_rows:
+            b_ub[row] = model.vnfs[vnf].site_capacity.get(site, 0.0)
+        b_ub[self.budget_row] = budget
+        for row, link_name in self.link_rows:
+            link = model.links[link_name]
+            b_ub[row] = max(
+                0.0, model.mlu_limit * link.bandwidth - link.background
+            )
+        return rows, cols, data, b_ub
+
+
+_CAPACITY_CACHE: "OrderedDict[str, _CapacityStructure]" = OrderedDict()
+_CAPACITY_CACHE_LIMIT = 16
+_CAPACITY_REBUILDS = 0
+_CAPACITY_REUSE_HITS = 0
+
+
+def capacity_cache_stats() -> dict[str, int]:
+    return {
+        "matrix_reuse_hits": _CAPACITY_REUSE_HITS,
+        "matrix_rebuilds": _CAPACITY_REBUILDS,
+        "cached_structures": len(_CAPACITY_CACHE),
+    }
+
+
+def clear_capacity_cache() -> None:
+    global _CAPACITY_REBUILDS, _CAPACITY_REUSE_HITS
+    _CAPACITY_CACHE.clear()
+    _CAPACITY_REBUILDS = 0
+    _CAPACITY_REUSE_HITS = 0
+
+
+def _inverse_permutation(rank: np.ndarray) -> np.ndarray:
+    out = np.empty(len(rank), dtype=np.int64)
+    out[rank] = np.arange(len(rank), dtype=np.int64)
+    return out
+
+
+def _build_capacity_structure(model: NetworkModel) -> _CapacityStructure:
+    """Vectorized COO assembly of the cloud-capacity LP.
+
+    Row order replicates the scalar reference: the equality block is
+    coverage (chain dict order, with the ``-alpha`` coupling) then flow
+    conservation; the inequality block is per-site rows sorted by name,
+    (VNF, site) rows sorted by name, the budget row, then link rows
+    sorted by name.
+    """
+    sub = model.substrate_columns()
+    ch = model.chain_columns()
+    vc = model.variable_columns()
+    n_flow = vc.n_vars
+    n_chains = len(ch.chain_names)
+    n_nodes = sub.n_nodes
+    n_sites = len(sub.site_names)
+    alpha_index = n_flow + n_sites
+    n_total = alpha_index + 1
+
+    var_stage = vc.var_stage
+    var_chain = ch.stage_chain[var_stage]
+    var_z = ch.stage_z[var_stage]
+    var_dst_vnf = ch.stage_dst_vnf[var_stage]
+    var_src_vnf = ch.stage_src_vnf[var_stage]
+
+    ub_rows: list[np.ndarray] = []
+    ub_cols: list[np.ndarray] = []
+    ub_base: list[np.ndarray] = []
+    ub_kind: list[np.ndarray] = []
+    ub_stage: list[np.ndarray] = []
+    n_ub = 0
+
+    # -- equality block: coverage (with -alpha) then conservation --------
+    stage1_vars = np.flatnonzero(var_z == 1)
+    eq_rows = [var_chain[stage1_vars], np.arange(n_chains, dtype=np.int64)]
+    eq_cols = [stage1_vars, np.full(n_chains, alpha_index, dtype=np.int64)]
+    eq_data = [np.ones(stage1_vars.size), -np.ones(n_chains)]
+    n_eq = n_chains
+
+    stage_has_cons = ch.stage_dst_vnf >= 0
+    cons_per_stage = np.where(stage_has_cons, ch.dst_len, 0)
+    cons_start = n_eq + np.cumsum(cons_per_stage) - cons_per_stage
+    n_cons = int(cons_per_stage.sum())
+    incoming = np.flatnonzero(var_dst_vnf >= 0)
+    outgoing = np.flatnonzero(var_src_vnf >= 0)
+    eq_rows.append(cons_start[var_stage[incoming]] + vc.var_dst_pos[incoming])
+    eq_cols.append(incoming)
+    eq_data.append(np.ones(incoming.size))
+    eq_rows.append(cons_start[var_stage[outgoing] - 1] + vc.var_src_pos[outgoing])
+    eq_cols.append(outgoing)
+    eq_data.append(-np.ones(outgoing.size))
+    n_eq += n_cons
+
+    # -- compute rows ----------------------------------------------------
+    cmp_vars = np.concatenate([incoming, outgoing])
+    cmp_vnf = np.concatenate([var_dst_vnf[incoming], var_src_vnf[outgoing]])
+    cmp_site = (
+        np.concatenate([vc.var_dst_ep[incoming], vc.var_src_ep[outgoing]])
+        - n_nodes
+    )
+    site_rows: list[tuple[int, str]] = []
+    vnf_rows: list[tuple[int, str, str]] = []
+    relief_rows: list[int] = []
+    relief_cols: list[int] = []
+    relief_pairs: list[tuple[str, str]] = []
+    if cmp_vars.size:
+        site_order = _inverse_permutation(sub.site_rank)
+        vnf_order = _inverse_permutation(sub.vnf_rank)
+
+        # Per-site rows first (sorted by site name), relief -1.0 on a_s.
+        uniq_sites, site_inverse = np.unique(
+            sub.site_rank[cmp_site], return_inverse=True
+        )
+        ub_rows.append(site_inverse + n_ub)
+        ub_cols.append(cmp_vars)
+        ub_base.append(sub.vnf_load[cmp_vnf])
+        ub_kind.append(np.full(cmp_vars.size, _KIND_TOTAL, dtype=np.int8))
+        ub_stage.append(var_stage[cmp_vars])
+        present_sites = site_order[uniq_sites]
+        ub_rows.append(n_ub + np.arange(len(present_sites), dtype=np.int64))
+        ub_cols.append(n_flow + present_sites)
+        ub_base.append(-np.ones(len(present_sites)))
+        ub_kind.append(np.full(len(present_sites), _KIND_CONST, dtype=np.int8))
+        ub_stage.append(np.full(len(present_sites), -1, dtype=np.int64))
+        site_rows = [
+            (n_ub + i, sub.site_names[int(s)])
+            for i, s in enumerate(present_sites)
+        ]
+        n_ub += len(present_sites)
+
+        # (VNF, site) rows sorted by (vnf name, site name); the relief
+        # coefficient -cap/site_cap is refreshed per call.
+        site_stride = max(n_sites, 1)
+        pair_key = sub.vnf_rank[cmp_vnf] * site_stride + sub.site_rank[cmp_site]
+        uniq_pairs, pair_inverse = np.unique(pair_key, return_inverse=True)
+        ub_rows.append(pair_inverse + n_ub)
+        ub_cols.append(cmp_vars)
+        ub_base.append(sub.vnf_load[cmp_vnf])
+        ub_kind.append(np.full(cmp_vars.size, _KIND_TOTAL, dtype=np.int8))
+        ub_stage.append(var_stage[cmp_vars])
+        row_vnf = vnf_order[uniq_pairs // site_stride]
+        row_site = site_order[uniq_pairs % site_stride]
+        for i, (vi, si) in enumerate(zip(row_vnf, row_site)):
+            vname = sub.vnf_names[int(vi)]
+            sname = sub.site_names[int(si)]
+            vnf_rows.append((n_ub + i, vname, sname))
+            if model.sites[sname].capacity > 0:
+                relief_rows.append(n_ub + i)
+                relief_cols.append(n_flow + int(si))
+                relief_pairs.append((vname, sname))
+        n_ub += len(uniq_pairs)
+
+    # -- budget row ------------------------------------------------------
+    budget_row = n_ub
+    ub_rows.append(np.full(n_sites, budget_row, dtype=np.int64))
+    ub_cols.append(n_flow + np.arange(n_sites, dtype=np.int64))
+    ub_base.append(np.ones(n_sites))
+    ub_kind.append(np.full(n_sites, _KIND_CONST, dtype=np.int8))
+    ub_stage.append(np.full(n_sites, -1, dtype=np.int64))
+    n_ub += 1
+
+    # -- link rows -------------------------------------------------------
+    link_rows: list[tuple[int, str]] = []
+    if sub.link_names and len(sub.pair_start):
+        ep_node = sub.endpoint_node
+        n1 = ep_node[vc.var_src_ep]
+        n2 = ep_node[vc.var_dst_ep]
+        parts_vars: list[np.ndarray] = []
+        parts_link: list[np.ndarray] = []
+        parts_frac: list[np.ndarray] = []
+        parts_kind: list[np.ndarray] = []
+        for kind, demand, a, b in (
+            (_KIND_FWD, ch.stage_fwd, n1, n2),
+            (_KIND_REV, ch.stage_rev, n2, n1),
+        ):
+            mask = demand[var_stage] > 0
+            pid = sub.pair_id[a, b]
+            sel = np.flatnonzero(mask & (pid >= 0))
+            pids = pid[sel]
+            lens = sub.pair_len[pids]
+            pool_idx, rows_of = ragged_gather(sub.pair_start[pids], lens)
+            parts_vars.append(sel[rows_of])
+            parts_link.append(sub.pool_link[pool_idx])
+            parts_frac.append(sub.pool_frac[pool_idx])
+            parts_kind.append(np.full(pool_idx.size, kind, dtype=np.int8))
+        lnk_vars = np.concatenate(parts_vars)
+        if lnk_vars.size:
+            lnk_link = np.concatenate(parts_link)
+            uniq_links, link_inverse = np.unique(
+                sub.link_rank[lnk_link], return_inverse=True
+            )
+            link_order = _inverse_permutation(sub.link_rank)
+            present = link_order[uniq_links]
+            ub_rows.append(link_inverse + n_ub)
+            ub_cols.append(lnk_vars)
+            ub_base.append(np.concatenate(parts_frac))
+            ub_kind.append(np.concatenate(parts_kind))
+            ub_stage.append(var_stage[lnk_vars])
+            link_rows = [
+                (n_ub + i, sub.link_names[int(li)])
+                for i, li in enumerate(present)
+            ]
+            n_ub += len(present)
+
+    def concat(parts: list[np.ndarray], dtype) -> np.ndarray:
+        if not parts:
+            return np.zeros(0, dtype=dtype)
+        return np.concatenate(parts).astype(dtype, copy=False)
+
+    # Column-generation seeds: stage-1 flows, the cheapest few flows of
+    # every later stage, every site addition, and alpha itself.
+    counts = np.diff(vc.stage_var_start)
+    order = np.lexsort((vc.var_latency, var_stage))
+    pos_in_stage = np.arange(n_flow, dtype=np.int64) - np.repeat(
+        vc.stage_var_start[:-1], counts
+    )
+    cheap = order[pos_in_stage < 4]
+    seed_columns = np.unique(
+        np.concatenate(
+            [
+                stage1_vars,
+                cheap,
+                n_flow + np.arange(n_sites, dtype=np.int64),
+                [alpha_index],
+            ]
+        )
+    )
+
+    stage_key = [
+        (ch.chain_names[int(c)], int(z))
+        for c, z in zip(ch.stage_chain, ch.stage_z)
+    ]
+    endpoint_names = np.array(sub.endpoint_names, dtype=object)
+
+    return _CapacityStructure(
+        n_flow=n_flow,
+        n_total=n_total,
+        alpha_index=alpha_index,
+        site_names=list(sub.site_names),
+        ub_rows=concat(ub_rows, np.int64),
+        ub_cols=concat(ub_cols, np.int64),
+        ub_base=concat(ub_base, float),
+        ub_kind=concat(ub_kind, np.int8),
+        ub_stage=concat(ub_stage, np.int64),
+        n_ub=n_ub,
+        relief_rows=np.array(relief_rows, dtype=np.int64),
+        relief_cols=np.array(relief_cols, dtype=np.int64),
+        relief_pairs=relief_pairs,
+        eq_rows=concat(eq_rows, np.int64),
+        eq_cols=concat(eq_cols, np.int64),
+        eq_data=concat(eq_data, float),
+        n_eq=n_eq,
+        site_rows=site_rows,
+        vnf_rows=vnf_rows,
+        budget_row=budget_row,
+        link_rows=link_rows,
+        stage_key=stage_key,
+        var_stage=var_stage,
+        stage_chain_name=[ch.chain_names[int(c)] for c in ch.stage_chain],
+        stage_z=ch.stage_z,
+        var_src_name=endpoint_names[vc.var_src_ep],
+        var_dst_name=endpoint_names[vc.var_dst_ep],
+        seed_columns=seed_columns,
+    )
+
+
+def _capacity_structure_for(model: NetworkModel) -> _CapacityStructure:
+    global _CAPACITY_REBUILDS, _CAPACITY_REUSE_HITS
+    key = model.capacity_structure_digest()
+    structure = _CAPACITY_CACHE.get(key)
+    if structure is not None:
+        _CAPACITY_CACHE.move_to_end(key)
+        _CAPACITY_REUSE_HITS += 1
+        return structure
+    structure = _build_capacity_structure(model)
+    _CAPACITY_REBUILDS += 1
+    _CAPACITY_CACHE[key] = structure
+    while len(_CAPACITY_CACHE) > _CAPACITY_CACHE_LIMIT:
+        _CAPACITY_CACHE.popitem(last=False)
+    return structure
+
+
 def plan_cloud_capacity(
     model: NetworkModel, budget: float
 ) -> CloudCapacityPlan:
@@ -74,6 +452,106 @@ def plan_cloud_capacity(
     if not model.chains:
         raise CapacityPlanningError("model has no chains")
 
+    structure = _capacity_structure_for(model)
+    rows, cols, data, b_ub = structure.refreshed_ub(model, budget)
+    n = structure.n_total
+    cost = np.zeros(n)
+    cost[structure.alpha_index] = -1.0  # maximize alpha
+
+    x = None
+    elapsed = 0.0
+    if highs_backend.direct_backend_available():
+        n_rows = structure.n_ub + structure.n_eq
+        all_rows = np.concatenate([rows, structure.eq_rows + structure.n_ub])
+        all_cols = np.concatenate([cols, structure.eq_cols])
+        all_data = np.concatenate([data, structure.eq_data])
+        matrix = csc_matrix((all_data, (all_rows, all_cols)), shape=(n_rows, n))
+        row_lower = np.concatenate(
+            [np.full(structure.n_ub, -np.inf), np.zeros(structure.n_eq)]
+        )
+        row_upper = np.concatenate([b_ub, np.zeros(structure.n_eq)])
+        if structure.cg_solver is None:
+            structure.cg_solver = highs_backend.ColumnGenSolver()
+        start = time.perf_counter()
+        try:
+            x, _ = structure.cg_solver.solve(
+                cost,
+                matrix,
+                row_lower,
+                row_upper,
+                np.zeros(n),
+                np.full(n, np.inf),
+                seed_columns=structure.seed_columns,
+            )
+        except highs_backend.ColumnGenError:
+            x = None
+        elapsed = time.perf_counter() - start
+
+    if x is None:
+        a_ub = csr_matrix((data, (rows, cols)), shape=(structure.n_ub, n))
+        a_eq = csr_matrix(
+            (structure.eq_data, (structure.eq_rows, structure.eq_cols)),
+            shape=(structure.n_eq, n),
+        )
+        start = time.perf_counter()
+        result = linprog(
+            cost,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=np.zeros(structure.n_eq),
+            bounds=[(0.0, None)] * n,
+            method="highs",
+        )
+        elapsed = time.perf_counter() - start
+        if not result.success:
+            raise CapacityPlanningError(
+                f"cloud capacity LP failed: {result.message}"
+            )
+        x = np.asarray(result.x)
+
+    alpha = float(x[structure.alpha_index])
+    additional = {
+        s: float(x[structure.n_flow + i])
+        for i, s in enumerate(structure.site_names)
+        if x[structure.n_flow + i] > _EPS
+    }
+
+    solution = None
+    if alpha > _EPS:
+        solution = RoutingSolution(model)
+        flows = x[: structure.n_flow]
+        for i in np.flatnonzero(flows / alpha > RoutingSolution.EPSILON):
+            k = int(structure.var_stage[i])
+            solution.add_flow(
+                structure.stage_chain_name[k],
+                int(structure.stage_z[k]),
+                structure.var_src_name[i],
+                structure.var_dst_name[i],
+                min(float(flows[i]) / alpha, 1.0),
+            )
+    return CloudCapacityPlan(alpha, additional, solution, elapsed)
+
+
+@dataclass
+class _ScalarCloudProgram:
+    """The scalar-assembled cloud-capacity LP (for equivalence tests)."""
+
+    cost: np.ndarray
+    a_ub: csr_matrix
+    b_ub: np.ndarray
+    a_eq: csr_matrix
+    b_eq: np.ndarray
+    vars_list: list[tuple[str, int, str, str]]
+    site_index: dict[str, int]
+    alpha_index: int
+    n_total: int
+
+
+def _scalar_cloud_program(
+    model: NetworkModel, budget: float
+) -> _ScalarCloudProgram:
+    """The original per-variable Python-loop assembly, kept verbatim."""
     var_index: dict[tuple[str, int, str, str], int] = {}
     vars_list: list[tuple[str, int, str, str]] = []
     for cname, chain in model.chains.items():
@@ -204,18 +682,42 @@ def plan_cloud_capacity(
     cost = np.zeros(n)
     cost[alpha_index] = -1.0  # maximize alpha
 
-    bounds = [(0.0, None)] * n
-    a_ub = csr_matrix((data, (rows, cols)), shape=(len(b_ub), n))
-    a_eq = csr_matrix((eq_data, (eq_rows, eq_cols)), shape=(len(b_eq), n))
+    return _ScalarCloudProgram(
+        cost=cost,
+        a_ub=csr_matrix((data, (rows, cols)), shape=(len(b_ub), n)),
+        b_ub=np.array(b_ub),
+        a_eq=csr_matrix((eq_data, (eq_rows, eq_cols)), shape=(len(b_eq), n)),
+        b_eq=np.array(b_eq),
+        vars_list=vars_list,
+        site_index=site_index,
+        alpha_index=alpha_index,
+        n_total=n,
+    )
+
+
+def plan_cloud_capacity_reference(
+    model: NetworkModel, budget: float
+) -> CloudCapacityPlan:
+    """The pre-vectorization scalar path (ground truth for tests)."""
+    if budget < 0:
+        raise CapacityPlanningError(f"negative budget {budget}")
+    if not model.chains:
+        raise CapacityPlanningError("model has no chains")
+
+    program = _scalar_cloud_program(model, budget)
+    vars_list = program.vars_list
+    site_index = program.site_index
+    alpha_index = program.alpha_index
+    sites = list(model.sites)
 
     start = time.perf_counter()
     result = linprog(
-        cost,
-        A_ub=a_ub,
-        b_ub=np.array(b_ub),
-        A_eq=a_eq,
-        b_eq=np.array(b_eq),
-        bounds=bounds,
+        program.cost,
+        A_ub=program.a_ub,
+        b_ub=program.b_ub,
+        A_eq=program.a_eq,
+        b_eq=program.b_eq,
+        bounds=[(0.0, None)] * program.n_total,
         method="highs",
     )
     elapsed = time.perf_counter() - start
@@ -503,8 +1005,11 @@ __all__ = [
     "CapacityPlanningError",
     "CloudCapacityPlan",
     "VnfPlacementPlan",
+    "capacity_cache_stats",
+    "clear_capacity_cache",
     "max_alpha",
     "plan_cloud_capacity",
+    "plan_cloud_capacity_reference",
     "plan_vnf_placement",
     "random_vnf_placement",
     "uniform_cloud_plan",

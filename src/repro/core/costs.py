@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 
 class CostError(Exception):
     """Raised on invalid cost-function construction or evaluation."""
@@ -60,6 +62,31 @@ class PiecewiseLinearCost:
             if utilization <= start:
                 break
             total += slope * (min(utilization, end) - start)
+        return total
+
+    def batch(self, utilization: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`__call__` over an array of utilizations.
+
+        Performs the same per-segment accumulation as the scalar
+        evaluation (identical floating-point operation order per
+        element), so batch and scalar results are bitwise equal.
+        """
+        u = np.asarray(utilization, dtype=float)
+        total = np.zeros_like(u)
+        for i, (start, slope) in enumerate(
+            zip(self.breakpoints, self.slopes)
+        ):
+            end = (
+                self.breakpoints[i + 1]
+                if i + 1 < len(self.breakpoints)
+                else float("inf")
+            )
+            active = u > start
+            if not active.any():
+                break
+            total = np.where(
+                active, total + slope * (np.minimum(u, end) - start), total
+            )
         return total
 
     def marginal(self, utilization: float) -> float:

@@ -33,6 +33,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, TYPE_CHECKING
 
+import numpy as np
+
+from repro.core.columns import ragged_gather
 from repro.core.costs import FORTZ_THORUP, PiecewiseLinearCost
 from repro.core.model import Chain, NetworkModel
 from repro.core.routes import RoutingSolution
@@ -60,6 +63,12 @@ class DpConfig:
     penalty: PiecewiseLinearCost = field(default=FORTZ_THORUP)
     max_paths_per_chain: int = 64
     sort_by_demand: bool = False
+    #: Evaluate the Equation 8 recurrence one stage front at a time over
+    #: columnar arrays instead of one ``_transition_cost`` call per
+    #: (source, destination) pair.  Same routes (the accumulation order
+    #: per matrix element matches the scalar code exactly); ``False``
+    #: forces the scalar reference implementation.
+    vectorized: bool = True
 
     @staticmethod
     def latency_only() -> "DpConfig":
@@ -74,54 +83,98 @@ class DpConfig:
 
 class _ResourceState:
     """Mutable residual-capacity state shared across sequentially routed
-    chains: VNF loads, site loads, and link loads."""
+    chains: VNF loads, site loads, and link loads.
+
+    Array-backed over the model's columnar index maps so the vectorized
+    path search can read whole stage fronts at once; the name-keyed
+    accessors below translate through the index maps and keep the
+    historical per-resource semantics.
+    """
 
     def __init__(self, model: NetworkModel):
         self.model = model
-        self.vnf_load: dict[tuple[str, str], float] = {}
-        self.site_load: dict[str, float] = {}
-        self.link_load: dict[str, float] = {
-            name: link.background for name, link in model.links.items()
-        }
+        sub = model.substrate_columns()
+        n_vnfs = len(sub.vnf_names)
+        n_sites = len(sub.site_names)
+        self.vnf_load = np.zeros((n_vnfs, n_sites))
+        self.site_load = np.zeros(n_sites)
+        self.link_load = sub.link_background.copy()
+        self.refresh_substrate(sub)
+
+    def refresh_substrate(self, sub) -> None:
+        """Re-read capacities after the substrate views were rebuilt.
+
+        Supported in-place mutations replace catalog *values* (a VNF's
+        capacities, a site's capacity, link latencies); names and index
+        maps are unchanged, so committed loads carry over.
+        """
+        self.sub = sub
+        caps = np.zeros((len(sub.vnf_names), len(sub.site_names)))
+        for (vi, si), cap in sub.vnf_site_cap.items():
+            caps[vi, si] = cap
+        self.vnf_cap = caps
 
     # -- residual capacities -------------------------------------------
 
     def vnf_residual(self, vnf: str, site: str) -> float:
-        cap = self.model.vnfs[vnf].site_capacity.get(site, 0.0)
-        return cap - self.vnf_load.get((vnf, site), 0.0)
+        vi = self.sub.vnf_index[vnf]
+        si = self.sub.site_index.get(site)
+        if si is None:
+            return 0.0
+        return float(self.vnf_cap[vi, si] - self.vnf_load[vi, si])
 
     def site_residual(self, site: str) -> float:
-        return self.model.sites[site].capacity - self.site_load.get(site, 0.0)
+        si = self.sub.site_index[site]
+        return float(self.sub.site_capacity[si] - self.site_load[si])
 
     def link_residual(self, link_name: str) -> float:
-        link = self.model.links[link_name]
-        return self.model.mlu_limit * link.bandwidth - self.link_load[link_name]
+        li = self.sub.link_index[link_name]
+        return float(
+            self.model.mlu_limit * self.sub.link_bandwidth[li]
+            - self.link_load[li]
+        )
 
     # -- utilizations ------------------------------------------------------
 
     def vnf_utilization(self, vnf: str, site: str, extra: float = 0.0) -> float:
-        cap = self.model.vnfs[vnf].site_capacity.get(site, 0.0)
+        vi = self.sub.vnf_index[vnf]
+        si = self.sub.site_index.get(site)
+        cap = 0.0 if si is None else self.vnf_cap[vi, si]
         if cap <= 0:
             return _INF
-        return (self.vnf_load.get((vnf, site), 0.0) + extra) / cap
+        return float((self.vnf_load[vi, si] + extra) / cap)
 
     def link_utilization(self, link_name: str, extra: float = 0.0) -> float:
-        link = self.model.links[link_name]
-        return (self.link_load[link_name] + extra) / link.bandwidth
+        li = self.sub.link_index[link_name]
+        return float(
+            (self.link_load[li] + extra) / self.sub.link_bandwidth[li]
+        )
 
     # -- commits -------------------------------------------------------------
 
     def commit_vnf(self, vnf: str, site: str, load: float) -> None:
-        self.vnf_load[(vnf, site)] = self.vnf_load.get((vnf, site), 0.0) + load
-        self.site_load[site] = self.site_load.get(site, 0.0) + load
+        vi = self.sub.vnf_index[vnf]
+        si = self.sub.site_index[site]
+        self.vnf_load[vi, si] += load
+        self.site_load[si] += load
 
     def commit_link_traffic(self, n1: str, n2: str, volume: float) -> None:
         """Add (or, with negative ``volume``, remove) traffic between two
         nodes, spread over links by the routing fractions."""
         if volume == 0:
             return
-        for link_name, frac in self.model.links_between(n1, n2).items():
-            self.link_load[link_name] += volume * frac
+        sub = self.sub
+        i = sub.node_index.get(n1)
+        j = sub.node_index.get(n2)
+        if i is None or j is None:
+            return
+        p = sub.pair_id[i, j]
+        if p < 0:
+            return
+        s = sub.pair_start[p]
+        e = s + sub.pair_len[p]
+        # Each pair's pool lists every link once, so fancy += is safe.
+        self.link_load[sub.pool_link[s:e]] += volume * sub.pool_frac[s:e]
 
 
 @dataclass
@@ -183,6 +236,35 @@ def route_chains_dp(
     return DpResult(solution, unrouted, router.paths_computed)
 
 
+@dataclass(frozen=True)
+class _StageFront:
+    """Static per-stage arrays used by the vectorized DP.
+
+    Everything here is demand-independent: the propagation-latency
+    block over (previous front x this front) and, per traffic
+    direction, flattened gather tables mapping each link a pair can use
+    to its matrix element.  Demands and residual loads are read fresh
+    on every call.
+    """
+
+    dst_names: list[str]
+    dst_nodes: np.ndarray  # network-node index of each destination
+    dst_sites: np.ndarray | None  # site indices (None for the egress)
+    vnf_index: int  # -1 for the egress stage
+    load_per_unit: float
+    lat: np.ndarray  # (n_prev, n_dst) one-way delays
+    fwd_targets: np.ndarray  # flat (src, dst) element per pool entry
+    fwd_links: np.ndarray
+    fwd_fracs: np.ndarray
+    fwd_wfracs: np.ndarray  # utilization_weight * frac
+    fwd_bw: np.ndarray
+    rev_targets: np.ndarray
+    rev_links: np.ndarray
+    rev_fracs: np.ndarray
+    rev_wfracs: np.ndarray
+    rev_bw: np.ndarray
+
+
 class _DpRouter:
     """Routes chains one at a time against shared residual state."""
 
@@ -190,28 +272,66 @@ class _DpRouter:
         self.model = model
         self.config = config
         self.state = _ResourceState(model)
+        self._sub = self.state.sub
+        self._chain_static: dict[tuple, list[_StageFront]] = {}
+        # (src_key, dst_key) -> shared latency/link tables; chains with
+        # the same stage transition (e.g. the same consecutive VNF pair)
+        # reuse one entry.
+        self._transition_cache: dict[tuple, tuple] = {}
+        self._model_sig = self._substrate_signature()
         self.paths_computed = 0
         self._weight = self._resolve_utilization_weight()
 
     def _resolve_utilization_weight(self) -> float:
         if self.config.utilization_weight is not None:
             return self.config.utilization_weight
-        diameter = 0.0
-        nodes = self.model.nodes
-        for n1 in nodes:
-            for n2 in nodes:
-                try:
-                    d = self.model.latency(n1, n2)
-                except Exception:
-                    continue
-                # A failed link's delay is infinite (repro.chaos); the
-                # utilization weight must stay finite regardless.
-                if d != _INF:
-                    diameter = max(diameter, d)
+        # A failed link's delay is infinite (repro.chaos); the
+        # utilization weight must stay finite regardless.
+        finite = self._sub.latency[np.isfinite(self._sub.latency)]
+        diameter = float(finite.max()) if finite.size else 0.0
         penalty_at_full = self.config.penalty(1.0)
         if diameter <= 0 or penalty_at_full <= 0:
             return 1.0
         return diameter / penalty_at_full
+
+    def _substrate_signature(self) -> tuple:
+        """Object identities of the mutable substrate catalogs.
+
+        Capacity growth and similar dynamic scenarios replace entries of
+        ``model.vnfs`` / ``model.sites`` / ``model.links`` in place; the
+        scalar code read those dicts live on every transition, so the
+        vectorized router re-checks the identities once per routed chain
+        and refreshes its snapshots when anything was swapped.
+        """
+        m = self.model
+        return (
+            tuple(map(id, m.vnfs.values())),
+            tuple(map(id, m.sites.values())),
+            tuple(map(id, m.links.values())),
+        )
+
+    def _maybe_refresh(self) -> None:
+        """Re-read the substrate views after an in-place mutation.
+
+        Triggered either by an external ``invalidate_substrate()`` call
+        (``controller.failures`` flipping latency entries) or by a
+        catalog-entry swap detected via :meth:`_substrate_signature`.
+        Topology names and index maps are unchanged in both cases, so
+        committed loads carry over and only the cached views (and the
+        derived stage-front tables) are rebuilt.
+        """
+        sig = self._substrate_signature()
+        sub = self.model.substrate_columns()
+        if sub is self._sub and sig == self._model_sig:
+            return
+        if sig != self._model_sig:
+            self.model.invalidate_substrate()
+            sub = self.model.substrate_columns()
+            self._model_sig = sig
+        self._sub = sub
+        self.state.refresh_substrate(sub)
+        self._chain_static.clear()
+        self._transition_cache.clear()
 
     # -- public per-chain entry point ------------------------------------
 
@@ -226,6 +346,7 @@ class _DpRouter:
 
         Returns the unrouted remainder fraction.
         """
+        self._maybe_refresh()
         for _ in range(self.config.max_paths_per_chain):
             if remaining <= _EPS:
                 break
@@ -246,6 +367,8 @@ class _DpRouter:
     def _find_path(self, chain: Chain, pass_fraction: float) -> list[str] | None:
         if self.config.per_hop:
             return self._find_path_greedy(chain, pass_fraction)
+        if self.config.vectorized:
+            return self._find_path_dp_vec(chain, pass_fraction)
         return self._find_path_dp(chain, pass_fraction)
 
     def _find_path_dp(self, chain: Chain, pass_fraction: float) -> list[str] | None:
@@ -287,6 +410,229 @@ class _DpRouter:
             path.append(current)
         path.reverse()
         return path
+
+    def _find_path_dp_vec(
+        self, chain: Chain, pass_fraction: float
+    ) -> list[str] | None:
+        """Equation 8 over whole stage fronts.
+
+        One (sources x destinations) cost matrix per stage replaces one
+        ``_transition_cost`` call per pair.  Every matrix element is
+        accumulated in the same order as the scalar code (latency, then
+        compute penalty, then forward link penalties in pool order, then
+        reverse), and ``argmin`` keeps the first minimum exactly like
+        the scalar strict-``<`` scan, so both implementations pick
+        identical routes.
+        """
+        cfg = self.config
+        state = self.state
+        sub = self._sub
+        fronts = self._stage_fronts(chain)
+        use_links = cfg.use_network_cost and bool(self.model.routing)
+        # Costs run over the *full* stage fronts; capacity-blocked or
+        # unreachable entries carry +inf, which the min-reduction
+        # ignores whenever any finite alternative exists -- the same
+        # outcome as the scalar code's explicit skips.
+        prev_cost = np.zeros(1)
+        parents: list[np.ndarray] = []
+
+        for z in range(1, chain.num_stages + 1):
+            front = fronts[z - 1]
+            is_vnf = front.vnf_index >= 0
+            fwd = rev = 0.0
+            if use_links:
+                fwd = chain.forward_traffic[z - 1] * pass_fraction
+                rev = chain.reverse_traffic[z - 1] * pass_fraction
+            want_fwd = fwd > 0 and front.fwd_targets.size > 0
+            want_rev = rev > 0 and front.rev_targets.size > 0
+
+            # One penalty evaluation per stage: compute utilization,
+            # forward-link utilization, and reverse-link utilization are
+            # concatenated, run through the (element-wise) piecewise
+            # penalty once, and split back apart.
+            segments = []
+            if is_vnf and cfg.use_compute_cost:
+                si = front.dst_sites
+                caps = state.vnf_cap[front.vnf_index, si]
+                traffic = chain.stage_traffic(z) * pass_fraction
+                load = front.load_per_unit * traffic * 2.0
+                with np.errstate(divide="ignore"):
+                    util = np.where(
+                        caps > 0,
+                        (state.vnf_load[front.vnf_index, si] + load) / caps,
+                        _INF,
+                    )
+                segments.append(np.minimum(util, 2.0))
+            if want_fwd:
+                util = (
+                    state.link_load[front.fwd_links] + fwd * front.fwd_fracs
+                ) / front.fwd_bw
+                segments.append(np.minimum(util, 2.0))
+            if want_rev:
+                util = (
+                    state.link_load[front.rev_links] + rev * front.rev_fracs
+                ) / front.rev_bw
+                segments.append(np.minimum(util, 2.0))
+            pens = (
+                cfg.penalty.batch(
+                    np.concatenate(segments)
+                    if len(segments) > 1
+                    else segments[0]
+                )
+                if segments
+                else None
+            )
+
+            step = front.lat.copy()
+            offset = 0
+            if is_vnf:
+                si = front.dst_sites
+                caps = state.vnf_cap[front.vnf_index, si]
+                loads = state.vnf_load[front.vnf_index, si]
+                blocked = (caps - loads <= _EPS) | (
+                    sub.site_capacity[si] - state.site_load[si] <= _EPS
+                )
+                if cfg.use_compute_cost:
+                    n = len(si)
+                    step = step + (
+                        self._weight * pens[offset : offset + n]
+                    )[None, :]
+                    offset += n
+                step[:, blocked] = _INF
+            flat = step.ravel()
+            if want_fwd:
+                n = front.fwd_targets.size
+                np.add.at(
+                    flat,
+                    front.fwd_targets,
+                    front.fwd_wfracs * pens[offset : offset + n],
+                )
+                offset += n
+            if want_rev:
+                n = front.rev_targets.size
+                np.add.at(
+                    flat,
+                    front.rev_targets,
+                    front.rev_wfracs * pens[offset : offset + n],
+                )
+            total = prev_cost[:, None] + step
+            best_src = np.argmin(total, axis=0)
+            best = total[best_src, np.arange(total.shape[1])]
+            if not (best < _INF).any():
+                return None
+            parents.append(best_src)
+            prev_cost = best
+
+        if not prev_cost[0] < _INF:
+            return None
+        # Backtrack from the egress (the only destination of the last
+        # stage, so its front index is 0).
+        idx = 0
+        path = [chain.egress]
+        for z in range(len(parents) - 1, 0, -1):
+            idx = int(parents[z][idx])
+            path.append(fronts[z - 1].dst_names[idx])
+        path.append(chain.ingress)
+        path.reverse()
+        return path
+
+    def _stage_fronts(self, chain: Chain) -> list[_StageFront]:
+        """Per-stage static arrays (cached per chain structure)."""
+        key = (chain.name, chain.ingress, chain.egress, tuple(chain.vnfs))
+        cached = self._chain_static.get(key)
+        if cached is not None:
+            return cached
+        sub = self._sub
+        model = self.model
+        ingress = sub.endpoint_id(chain.ingress, model)
+        prev_nodes = np.array([sub.endpoint_node[ingress]], dtype=np.int64)
+        prev_key: tuple = ("ep", ingress)
+        fronts: list[_StageFront] = []
+        for z in range(1, chain.num_stages + 1):
+            if z == chain.num_stages:
+                ep = sub.endpoint_id(chain.egress, model)
+                dst_names = [chain.egress]
+                dst_nodes = np.array(
+                    [sub.endpoint_node[ep]], dtype=np.int64
+                )
+                dst_sites = None
+                vnf_index = -1
+                load_per_unit = 0.0
+                dst_key: tuple = ("ep", ep)
+            else:
+                vnf_index = sub.vnf_index[chain.vnf_at(z)]
+                dst_sites = sub.vnf_sites[vnf_index]
+                dst_names = [sub.site_names[si] for si in dst_sites]
+                dst_nodes = sub.site_node[dst_sites]
+                load_per_unit = float(sub.vnf_load[vnf_index])
+                dst_key = ("vnf", vnf_index)
+            shared = self._transition_cache.get((prev_key, dst_key))
+            if shared is None:
+                shared = (
+                    sub.latency[np.ix_(prev_nodes, dst_nodes)],
+                    self._pair_tables(prev_nodes, dst_nodes, False),
+                    self._pair_tables(dst_nodes, prev_nodes, True),
+                )
+                self._transition_cache[(prev_key, dst_key)] = shared
+            lat, fwd, rev = shared
+            fronts.append(
+                _StageFront(
+                    dst_names=dst_names,
+                    dst_nodes=dst_nodes,
+                    dst_sites=dst_sites,
+                    vnf_index=vnf_index,
+                    load_per_unit=load_per_unit,
+                    lat=lat,
+                    fwd_targets=fwd[0],
+                    fwd_links=fwd[1],
+                    fwd_fracs=fwd[2],
+                    fwd_wfracs=fwd[3],
+                    fwd_bw=fwd[4],
+                    rev_targets=rev[0],
+                    rev_links=rev[1],
+                    rev_fracs=rev[2],
+                    rev_wfracs=rev[3],
+                    rev_bw=rev[4],
+                )
+            )
+            prev_nodes = dst_nodes
+            prev_key = dst_key
+        self._chain_static[key] = fronts
+        return fronts
+
+    def _pair_tables(
+        self, a_nodes: np.ndarray, b_nodes: np.ndarray, transpose: bool
+    ) -> tuple[np.ndarray, ...]:
+        """Flat link-gather tables for every (a, b) node pair.
+
+        ``targets`` maps each pool entry to its cost-matrix element --
+        (a, b) element order, or (b, a) with ``transpose`` (the
+        reverse-traffic direction of a stage).  Entries stay in pool
+        order per pair so the penalty accumulation (``np.add.at`` is
+        sequential) reproduces the scalar code's per-link order.
+        """
+        sub = self._sub
+        if not self.model.routing:
+            empty_i = np.zeros(0, dtype=np.int64)
+            empty_f = np.zeros(0)
+            return empty_i, empty_i, empty_f, empty_f, empty_f
+        pids = sub.pair_id[np.ix_(a_nodes, b_nodes)].ravel()
+        valid = np.flatnonzero(pids >= 0)
+        p = pids[valid]
+        pool_idx, row_of = ragged_gather(sub.pair_start[p], sub.pair_len[p])
+        links = sub.pool_link[pool_idx]
+        fracs = sub.pool_frac[pool_idx]
+        targets = valid[row_of]
+        if transpose:
+            a_i, b_i = np.divmod(targets, b_nodes.size)
+            targets = b_i * a_nodes.size + a_i
+        return (
+            targets,
+            links,
+            fracs,
+            self._weight * fracs,
+            sub.link_bandwidth[links],
+        )
 
     def _find_path_greedy(
         self, chain: Chain, pass_fraction: float

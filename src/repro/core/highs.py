@@ -1,0 +1,249 @@
+"""Warm-startable LP solves through the HiGHS library bundled with scipy.
+
+``scipy.optimize.linprog`` rebuilds and presolves the whole program on
+every call, which wastes most of the solve time when the same structure
+is re-solved under new demands -- exactly what ``reoptimize()`` rounds,
+the solver farm's incremental ``resolve``, and the capacity-planning
+budget sweeps do.  This module talks to the HiGHS instance scipy ships
+(``scipy.optimize._highspy``) directly, which exposes what ``linprog``
+hides:
+
+- keeping a solver instance alive across solves,
+- warm-starting dual simplex from the previous optimal basis, and
+- column generation: solving a restricted master over a subset of
+  columns and pricing the rest in with one vectorized reduced-cost pass
+  (``c - A.T @ y``) per round.
+
+Column generation is only used for programs that are feasible with all
+flow variables at zero (``MAX_THROUGHPUT`` chain routing and the
+capacity-planning alpha maximization); equality-covered objectives go
+through ``linprog`` unchanged.
+
+The private-module import is feature-detected: when unavailable, every
+caller falls back to the scipy ``linprog`` path, which remains the
+reference implementation.  Setting ``REPRO_LP_BACKEND=linprog`` forces
+the fallback (used by the equivalence tests to compare both backends).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+from scipy.sparse import csc_matrix
+
+try:  # pragma: no cover - exercised implicitly by every import
+    from scipy.optimize._highspy import _core as _hc
+
+    _HIGHS_IMPORTED = True
+except Exception:  # pragma: no cover - older/newer scipy layouts
+    _hc = None
+    _HIGHS_IMPORTED = False
+
+
+def direct_backend_available() -> bool:
+    """True when the direct HiGHS backend can (and should) be used."""
+    if os.environ.get("REPRO_LP_BACKEND", "").lower() == "linprog":
+        return False
+    return _HIGHS_IMPORTED
+
+
+class ColumnGenError(Exception):
+    """Raised when the direct backend cannot finish; callers fall back."""
+
+
+def _new_highs():
+    h = _hc._Highs()
+    h.setOptionValue("output_flag", False)
+    # Presolve rarely pays off on the small restricted masters and
+    # discards the warm basis; dual simplex from the previous basis is
+    # the whole point here.
+    h.setOptionValue("presolve", "off")
+    return h
+
+
+class ColumnGenSolver:
+    """Restricted-master column generation with cross-solve warm starts.
+
+    One instance corresponds to one constraint-matrix *structure*; the
+    caller caches instances keyed on the model's structure digest and
+    calls :meth:`solve` with refreshed numeric data each round.  The
+    active column set and the optimal basis survive between calls, so a
+    re-solve after a demand change usually costs one dual-simplex run
+    plus one or two pricing rounds.
+    """
+
+    #: Reduced costs below this are considered improving.
+    PRICING_TOL = 1e-9
+    #: Safety cap; genuine solves converge in < 20 rounds.
+    MAX_ROUNDS = 60
+
+    def __init__(self) -> None:
+        if not _HIGHS_IMPORTED:  # pragma: no cover - guarded by callers
+            raise ColumnGenError("direct HiGHS backend unavailable")
+        self._highs = _new_highs()
+        self._active: np.ndarray | None = None  # sorted active column ids
+        self._basis = None
+        self.last_rounds = 0
+
+    def solve(
+        self,
+        cost: np.ndarray,
+        matrix: csc_matrix,
+        row_lower: np.ndarray,
+        row_upper: np.ndarray,
+        col_lower: np.ndarray,
+        col_upper: np.ndarray,
+        seed_columns: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, float]:
+        """Solve ``min c@x  s.t.  rl <= A x <= ru, cl <= x <= cu``.
+
+        The program must be feasible with every column absent (all-zero
+        flow), which makes any restricted master feasible.  Returns the
+        full-length primal solution and the objective value.
+        """
+        n_cols = matrix.shape[1]
+        matrix_t = matrix.T.tocsr()
+        active = self._initial_active(cost, n_cols, seed_columns)
+
+        highs = self._highs
+        self._pass_restricted(
+            highs, cost, matrix, row_lower, row_upper, col_lower, col_upper, active
+        )
+        if self._basis is not None and len(self._basis.col_status) == len(active):
+            highs.setBasis(self._basis)
+        # Dual simplex for the (possibly warm-started) restricted master...
+        highs.setOptionValue("simplex_strategy", 1)
+        highs.run()
+        self._check_status()
+        # ...but primal for the pricing re-solves: after addCols the old
+        # basis stays primal-feasible (new columns enter nonbasic at 0)
+        # while dual feasibility is exactly what pricing violated, so
+        # primal iterates only on the entering columns instead of
+        # re-solving from scratch.  Measured ~9x on the 128-chain bench.
+        highs.setOptionValue("simplex_strategy", 4)
+
+        active_mask = np.zeros(n_cols, dtype=bool)
+        active_mask[active] = True
+        self.last_rounds = 0
+        for _ in range(self.MAX_ROUNDS):
+            self.last_rounds += 1
+            solution = highs.getSolution()
+            duals = np.asarray(solution.row_dual)
+            reduced = cost - matrix_t @ duals
+            candidates = np.flatnonzero(~active_mask & (reduced < -self.PRICING_TOL))
+            if candidates.size == 0:
+                break
+            take = self._select_columns(candidates, reduced)
+            self._add_columns(
+                highs, cost, matrix, col_lower, col_upper, take
+            )
+            active = np.concatenate([active, take])
+            active_mask[take] = True
+            highs.run()
+            self._check_status()
+        else:
+            raise ColumnGenError("column generation did not converge")
+
+        solution = highs.getSolution()
+        x = np.zeros(n_cols)
+        x[active] = np.asarray(solution.col_value)
+        self._active = np.sort(active)
+        self._basis = highs.getBasis()
+        # Reorder the saved basis to match the sorted active set used on
+        # the next call's restricted master.
+        order = np.argsort(active, kind="stable")
+        col_status = list(self._basis.col_status)
+        self._basis.col_status = [col_status[i] for i in order]
+        return x, float(cost[active] @ np.asarray(solution.col_value))
+
+    # -- internals ------------------------------------------------------
+
+    @staticmethod
+    def _select_columns(
+        candidates: np.ndarray, reduced: np.ndarray
+    ) -> np.ndarray:
+        """Most-negative reduced-cost candidates to price in this round."""
+        order = np.argsort(reduced[candidates])
+        return candidates[order[: max(500, candidates.size // 4)]]
+
+    def _initial_active(
+        self,
+        cost: np.ndarray,
+        n_cols: int,
+        seed_columns: np.ndarray | None,
+    ) -> np.ndarray:
+        if self._active is not None and self._active.size and (
+            self._active < n_cols
+        ).all():
+            return self._active
+        if seed_columns is not None:
+            active = np.unique(np.asarray(seed_columns, dtype=np.int64))
+        else:
+            active = np.flatnonzero(cost != 0.0)
+        if active.size == 0:
+            active = np.arange(min(n_cols, 1), dtype=np.int64)
+        return active
+
+    @staticmethod
+    def _pass_restricted(
+        highs,
+        cost: np.ndarray,
+        matrix: csc_matrix,
+        row_lower: np.ndarray,
+        row_upper: np.ndarray,
+        col_lower: np.ndarray,
+        col_upper: np.ndarray,
+        active: np.ndarray,
+    ) -> None:
+        sub = matrix[:, active]
+        lp = _hc.HighsLp()
+        lp.num_col_ = int(len(active))
+        lp.num_row_ = int(matrix.shape[0])
+        lp.col_cost_ = cost[active]
+        lp.col_lower_ = col_lower[active]
+        lp.col_upper_ = col_upper[active]
+        lp.row_lower_ = row_lower
+        lp.row_upper_ = row_upper
+        lp.a_matrix_.format_ = _hc.MatrixFormat.kColwise
+        lp.a_matrix_.start_ = sub.indptr
+        lp.a_matrix_.index_ = sub.indices
+        lp.a_matrix_.value_ = sub.data
+        highs.passModel(lp)
+
+    @staticmethod
+    def _add_columns(
+        highs,
+        cost: np.ndarray,
+        matrix: csc_matrix,
+        col_lower: np.ndarray,
+        col_upper: np.ndarray,
+        take: np.ndarray,
+    ) -> None:
+        sub = matrix[:, take]
+        highs.addCols(
+            int(take.size),
+            cost[take],
+            col_lower[take],
+            col_upper[take],
+            int(sub.nnz),
+            sub.indptr[:-1],
+            sub.indices,
+            sub.data,
+        )
+
+    def _check_status(self) -> None:
+        status = self._highs.getModelStatus()
+        if status != _hc.HighsModelStatus.kOptimal:
+            # Any restricted master of a zero-feasible program is
+            # feasible; anything else is a numerical failure.
+            self._active = None
+            self._basis = None
+            raise ColumnGenError(f"HiGHS status {status}")
+
+
+__all__ = [
+    "ColumnGenError",
+    "ColumnGenSolver",
+    "direct_backend_available",
+]

@@ -16,20 +16,41 @@ requires all demand to be carried and minimizes Equation 3, while
 carried demand, and breaks ties toward lower latency.
 
 The paper solves these programs with CPLEX inside OpenDaylight; we use
-``scipy.optimize.linprog`` (HiGHS), which solves the identical program.
+the HiGHS solver scipy ships, which solves the identical program.
+
+Assembly and reuse
+------------------
+Constraint matrices are assembled as COO triplets from the columnar
+model views (:mod:`repro.core.columns`) instead of per-variable Python
+loops, and the assembled *structure* (sparsity pattern, demand-
+independent coefficients, RHS, variable order) is cached keyed on
+:meth:`NetworkModel.structure_digest`.  A re-solve after a demand change
+-- a ``reoptimize()`` round, the solver farm's incremental ``resolve``
+-- only refreshes the demand-scaled entries of the data vector with a
+few vectorized multiplies.  ``MAX_THROUGHPUT`` programs (feasible at
+zero flow) are solved through warm-started column generation
+(:mod:`repro.core.highs`); the other objectives go through
+``scipy.optimize.linprog`` on the cached matrix.
+
+``solve_chain_routing_lp_reference`` keeps the original scalar assembly
+and ``linprog`` solve as the ground truth the vectorized path is
+property-tested against (equal matrices within 1e-9).
 """
 
 from __future__ import annotations
 
 import enum
 import time
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
 from scipy.optimize import linprog
-from scipy.sparse import csr_matrix
+from scipy.sparse import csc_matrix, csr_matrix
 
+from repro.core import highs as highs_backend
+from repro.core.columns import ragged_gather
 from repro.core.model import NetworkModel
 from repro.core.routes import RoutingSolution
 
@@ -90,6 +111,409 @@ class _VariableSpace:
         return len(self.vars)
 
 
+# ---------------------------------------------------------------------------
+# Columnar assembly with structure caching
+# ---------------------------------------------------------------------------
+
+# Data-entry kinds: how a cached base coefficient scales with the current
+# demands.  KIND_CONST entries never change on a cache hit.
+_KIND_CONST = 0
+_KIND_TOTAL = 1  # base * (w_cz + v_cz)
+_KIND_FWD = 2  # base * w_cz
+_KIND_REV = 3  # base * v_cz
+
+
+@dataclass
+class _MatrixStructure:
+    """Everything about the LP that survives demand changes."""
+
+    n_flow: int
+    n_total: int
+    beta_index: int | None
+    # UB block (COO); entries scale with demand by kind.
+    ub_rows: np.ndarray
+    ub_cols: np.ndarray
+    ub_base: np.ndarray
+    ub_kind: np.ndarray
+    ub_stage: np.ndarray
+    b_ub: np.ndarray
+    # EQ block: all entries demand-independent.
+    eq_rows: np.ndarray
+    eq_cols: np.ndarray
+    eq_data: np.ndarray
+    b_eq: np.ndarray
+    # Per-variable structure for cost/extraction.
+    var_stage: np.ndarray
+    var_latency: np.ndarray
+    stage1_vars: np.ndarray
+    seed_columns: np.ndarray
+    # Pre-split refresh index arrays (by kind).
+    idx_total: np.ndarray = field(default=None)  # type: ignore[assignment]
+    idx_fwd: np.ndarray = field(default=None)  # type: ignore[assignment]
+    idx_rev: np.ndarray = field(default=None)  # type: ignore[assignment]
+    # Warm-startable solver retained across solves of this structure.
+    cg_solver: object | None = None
+
+    def __post_init__(self) -> None:
+        self.idx_total = np.flatnonzero(self.ub_kind == _KIND_TOTAL)
+        self.idx_fwd = np.flatnonzero(self.ub_kind == _KIND_FWD)
+        self.idx_rev = np.flatnonzero(self.ub_kind == _KIND_REV)
+
+    def refreshed_ub_data(self, ch) -> np.ndarray:
+        """UB data vector under the chain columns' current demands."""
+        data = self.ub_base.copy()
+        if self.idx_total.size:
+            data[self.idx_total] *= ch.stage_total[self.ub_stage[self.idx_total]]
+        if self.idx_fwd.size:
+            data[self.idx_fwd] *= ch.stage_fwd[self.ub_stage[self.idx_fwd]]
+        if self.idx_rev.size:
+            data[self.idx_rev] *= ch.stage_rev[self.ub_stage[self.idx_rev]]
+        return data
+
+
+_MATRIX_CACHE: "OrderedDict[tuple, _MatrixStructure]" = OrderedDict()
+_MATRIX_CACHE_LIMIT = 32
+_MATRIX_REBUILDS = 0
+_MATRIX_REUSE_HITS = 0
+
+
+def matrix_cache_stats() -> dict[str, int]:
+    """Warm-start observability: cache hit/rebuild counters."""
+    return {
+        "matrix_reuse_hits": _MATRIX_REUSE_HITS,
+        "matrix_rebuilds": _MATRIX_REBUILDS,
+        "cached_structures": len(_MATRIX_CACHE),
+    }
+
+
+def clear_matrix_cache() -> None:
+    """Drop all cached constraint-matrix structures (tests)."""
+    global _MATRIX_REBUILDS, _MATRIX_REUSE_HITS
+    _MATRIX_CACHE.clear()
+    _MATRIX_REBUILDS = 0
+    _MATRIX_REUSE_HITS = 0
+
+
+def _inverse_permutation(rank: np.ndarray) -> np.ndarray:
+    out = np.empty(len(rank), dtype=np.int64)
+    out[rank] = np.arange(len(rank), dtype=np.int64)
+    return out
+
+
+def _build_structure(
+    model: NetworkModel, objective: LpObjective, enforce_mlu: bool
+) -> _MatrixStructure:
+    """Vectorized COO assembly of the SB-LP constraint matrix.
+
+    Row and entry order replicate the scalar reference assembly exactly
+    (see ``_scalar_program``): coverage rows first (dict order), then --
+    in the equality block -- flow conservation; the inequality block
+    continues with (VNF, site) rows sorted by name, per-site rows sorted
+    by name, and link rows sorted by link name.
+    """
+    sub = model.substrate_columns()
+    ch = model.chain_columns()
+    vc = model.variable_columns()
+    n = vc.n_vars
+    n_chains = len(ch.chain_names)
+    n_nodes = sub.n_nodes
+    n_sites = len(sub.site_names)
+
+    beta_index = n if objective is LpObjective.MIN_MLU else None
+    n_total = n + (1 if beta_index is not None else 0)
+
+    var_stage = vc.var_stage
+    var_chain = ch.stage_chain[var_stage]
+    var_z = ch.stage_z[var_stage]
+    var_dst_vnf = ch.stage_dst_vnf[var_stage]
+    var_src_vnf = ch.stage_src_vnf[var_stage]
+
+    ub_rows: list[np.ndarray] = []
+    ub_cols: list[np.ndarray] = []
+    ub_base: list[np.ndarray] = []
+    ub_kind: list[np.ndarray] = []
+    ub_stage: list[np.ndarray] = []
+    b_ub: list[np.ndarray] = []
+    eq_rows: list[np.ndarray] = []
+    eq_cols: list[np.ndarray] = []
+    eq_data: list[np.ndarray] = []
+    b_eq: list[np.ndarray] = []
+    n_ub = 0
+    n_eq = 0
+
+    def add_ub_block(
+        rows: np.ndarray,
+        cols: np.ndarray,
+        base: np.ndarray,
+        kind: int | np.ndarray,
+        stage: np.ndarray,
+        bounds: np.ndarray,
+    ) -> None:
+        nonlocal n_ub
+        ub_rows.append(np.asarray(rows, dtype=np.int64) + n_ub)
+        ub_cols.append(np.asarray(cols, dtype=np.int64))
+        ub_base.append(np.asarray(base, dtype=float))
+        if np.isscalar(kind):
+            ub_kind.append(np.full(len(rows), kind, dtype=np.int8))
+        else:
+            ub_kind.append(np.asarray(kind, dtype=np.int8))
+        ub_stage.append(np.asarray(stage, dtype=np.int64))
+        b_ub.append(np.asarray(bounds, dtype=float))
+        n_ub += len(bounds)
+
+    # -- demand coverage on stage-1 flows --------------------------------
+    stage1_vars = np.flatnonzero(var_z == 1)
+    cover_rows = var_chain[stage1_vars]
+    cover_data = np.ones(stage1_vars.size)
+    if objective is LpObjective.MAX_THROUGHPUT:
+        add_ub_block(
+            cover_rows,
+            stage1_vars,
+            cover_data,
+            _KIND_CONST,
+            np.full(stage1_vars.size, -1, dtype=np.int64),
+            np.ones(n_chains),
+        )
+    else:
+        eq_rows.append(cover_rows)
+        eq_cols.append(stage1_vars)
+        eq_data.append(cover_data)
+        b_eq.append(np.ones(n_chains))
+        n_eq += n_chains
+
+    # -- flow conservation (Equation 5) ----------------------------------
+    stage_has_cons = ch.stage_dst_vnf >= 0  # z < num_stages
+    cons_per_stage = np.where(stage_has_cons, ch.dst_len, 0)
+    cons_start = n_eq + np.cumsum(cons_per_stage) - cons_per_stage
+    n_cons = int(cons_per_stage.sum())
+    incoming = np.flatnonzero(var_dst_vnf >= 0)
+    outgoing = np.flatnonzero(var_src_vnf >= 0)
+    eq_rows.append(cons_start[var_stage[incoming]] + vc.var_dst_pos[incoming])
+    eq_cols.append(incoming)
+    eq_data.append(np.ones(incoming.size))
+    eq_rows.append(cons_start[var_stage[outgoing] - 1] + vc.var_src_pos[outgoing])
+    eq_cols.append(outgoing)
+    eq_data.append(-np.ones(outgoing.size))
+    b_eq.append(np.zeros(n_cons))
+    n_eq += n_cons
+
+    # -- compute constraints (Equation 4) --------------------------------
+    cmp_vars = np.concatenate([incoming, outgoing])
+    cmp_vnf = np.concatenate([var_dst_vnf[incoming], var_src_vnf[outgoing]])
+    cmp_site = (
+        np.concatenate([vc.var_dst_ep[incoming], vc.var_src_ep[outgoing]])
+        - n_nodes
+    )
+    if cmp_vars.size and (cmp_site < 0).any():
+        raise LpError("internal: VNF stage endpoint is not a site")
+    if cmp_vars.size:
+        site_stride = max(n_sites, 1)
+        pair_key = sub.vnf_rank[cmp_vnf] * site_stride + sub.site_rank[cmp_site]
+        uniq_pairs, pair_inverse = np.unique(pair_key, return_inverse=True)
+        vnf_order = _inverse_permutation(sub.vnf_rank)
+        site_order = _inverse_permutation(sub.site_rank)
+        row_vnf = vnf_order[uniq_pairs // site_stride]
+        row_site = site_order[uniq_pairs % site_stride]
+        caps = np.array(
+            [
+                sub.vnf_site_cap.get((int(v), int(s)), np.nan)
+                for v, s in zip(row_vnf, row_site)
+            ]
+        )
+        if np.isnan(caps).any():
+            bad = int(np.argmax(np.isnan(caps)))
+            raise LpError(
+                "internal: VNF "
+                f"{sub.vnf_names[int(row_vnf[bad])]!r} routed at "
+                f"non-deployment site {sub.site_names[int(row_site[bad])]!r}"
+            )
+        add_ub_block(
+            pair_inverse,
+            cmp_vars,
+            sub.vnf_load[cmp_vnf],
+            _KIND_TOTAL,
+            var_stage[cmp_vars],
+            caps,
+        )
+
+        # Per-site totals over the same entries.
+        uniq_sites, site_inverse = np.unique(
+            sub.site_rank[cmp_site], return_inverse=True
+        )
+        add_ub_block(
+            site_inverse,
+            cmp_vars,
+            sub.vnf_load[cmp_vnf],
+            _KIND_TOTAL,
+            var_stage[cmp_vars],
+            sub.site_capacity[site_order[uniq_sites]],
+        )
+
+    # -- network cost (Equations 6-7) ------------------------------------
+    if (enforce_mlu or beta_index is not None) and sub.link_names and len(
+        sub.pair_start
+    ):
+        ep_node = sub.endpoint_node
+        n1 = ep_node[vc.var_src_ep]
+        n2 = ep_node[vc.var_dst_ep]
+        parts_vars: list[np.ndarray] = []
+        parts_link: list[np.ndarray] = []
+        parts_frac: list[np.ndarray] = []
+        parts_kind: list[np.ndarray] = []
+        for kind, demand, a, b in (
+            (_KIND_FWD, ch.stage_fwd, n1, n2),
+            (_KIND_REV, ch.stage_rev, n2, n1),
+        ):
+            mask = demand[var_stage] > 0
+            pid = sub.pair_id[a, b]
+            sel = np.flatnonzero(mask & (pid >= 0))
+            pids = pid[sel]
+            lens = sub.pair_len[pids]
+            pool_idx, rows_of = ragged_gather(sub.pair_start[pids], lens)
+            parts_vars.append(sel[rows_of])
+            parts_link.append(sub.pool_link[pool_idx])
+            parts_frac.append(sub.pool_frac[pool_idx])
+            parts_kind.append(np.full(pool_idx.size, kind, dtype=np.int8))
+        lnk_vars = np.concatenate(parts_vars)
+        lnk_link = np.concatenate(parts_link)
+        lnk_frac = np.concatenate(parts_frac)
+        lnk_kind = np.concatenate(parts_kind)
+        if lnk_vars.size:
+            uniq_links, link_inverse = np.unique(
+                sub.link_rank[lnk_link], return_inverse=True
+            )
+            link_order = _inverse_permutation(sub.link_rank)
+            present = link_order[uniq_links]
+            if beta_index is not None:
+                bounds = -sub.link_background[present]
+            else:
+                bounds = sub.headroom()[present]
+            base_row = n_ub
+            add_ub_block(
+                link_inverse,
+                lnk_vars,
+                lnk_frac,
+                lnk_kind,
+                var_stage[lnk_vars],
+                bounds,
+            )
+            if beta_index is not None:
+                # beta coefficient on every present-link row.
+                ub_rows.append(base_row + np.arange(len(present), dtype=np.int64))
+                ub_cols.append(np.full(len(present), beta_index, dtype=np.int64))
+                ub_base.append(-sub.link_bandwidth[present])
+                ub_kind.append(np.full(len(present), _KIND_CONST, dtype=np.int8))
+                ub_stage.append(np.full(len(present), -1, dtype=np.int64))
+        else:
+            present = np.zeros(0, dtype=np.int64)
+        if beta_index is not None:
+            # Links Switchboard never touches still bound beta from below
+            # (model dict order, matching the scalar reference).
+            present_set = set(int(p) for p in present)
+            absent = [
+                li
+                for li in range(len(sub.link_names))
+                if li not in present_set and sub.link_background[li] > 0
+            ]
+            if absent:
+                absent_arr = np.array(absent, dtype=np.int64)
+                add_ub_block(
+                    np.arange(len(absent), dtype=np.int64),
+                    np.full(len(absent), beta_index, dtype=np.int64),
+                    -sub.link_bandwidth[absent_arr],
+                    _KIND_CONST,
+                    np.full(len(absent), -1, dtype=np.int64),
+                    -sub.link_background[absent_arr],
+                )
+
+    def concat(parts: list[np.ndarray], dtype) -> np.ndarray:
+        if not parts:
+            return np.zeros(0, dtype=dtype)
+        return np.concatenate(parts).astype(dtype, copy=False)
+
+    # Seed columns for column generation: every stage-1 variable plus the
+    # few lowest-latency variables of every other stage.
+    counts = np.diff(vc.stage_var_start)
+    order = np.lexsort((vc.var_latency, var_stage))
+    pos_in_stage = np.arange(n, dtype=np.int64) - np.repeat(
+        vc.stage_var_start[:-1], counts
+    )
+    cheap = order[pos_in_stage < 4]
+    seed_columns = np.unique(np.concatenate([stage1_vars, cheap]))
+
+    return _MatrixStructure(
+        n_flow=n,
+        n_total=n_total,
+        beta_index=beta_index,
+        ub_rows=concat(ub_rows, np.int64),
+        ub_cols=concat(ub_cols, np.int64),
+        ub_base=concat(ub_base, float),
+        ub_kind=concat(ub_kind, np.int8),
+        ub_stage=concat(ub_stage, np.int64),
+        b_ub=concat(b_ub, float),
+        eq_rows=concat(eq_rows, np.int64),
+        eq_cols=concat(eq_cols, np.int64),
+        eq_data=concat(eq_data, float),
+        b_eq=concat(b_eq, float),
+        var_stage=var_stage,
+        var_latency=vc.var_latency,
+        stage1_vars=stage1_vars,
+        seed_columns=seed_columns,
+    )
+
+
+def _structure_for(
+    model: NetworkModel,
+    objective: LpObjective,
+    enforce_mlu: bool,
+    metrics: "MetricsRegistry | None",
+) -> _MatrixStructure:
+    global _MATRIX_REBUILDS, _MATRIX_REUSE_HITS
+    key = (model.structure_digest(), objective.value, bool(enforce_mlu))
+    structure = _MATRIX_CACHE.get(key)
+    if structure is not None:
+        _MATRIX_CACHE.move_to_end(key)
+        _MATRIX_REUSE_HITS += 1
+        if metrics is not None:
+            metrics.counter("lp.matrix_reuse_hits").inc()
+        return structure
+    structure = _build_structure(model, objective, enforce_mlu)
+    _MATRIX_REBUILDS += 1
+    if metrics is not None:
+        metrics.counter("lp.matrix_rebuilds").inc()
+    _MATRIX_CACHE[key] = structure
+    while len(_MATRIX_CACHE) > _MATRIX_CACHE_LIMIT:
+        _MATRIX_CACHE.popitem(last=False)
+    return structure
+
+
+def _cost_vector(
+    structure: _MatrixStructure,
+    ch,
+    objective: LpObjective,
+    latency_tiebreak: float,
+) -> np.ndarray:
+    n = structure.n_flow
+    var_traffic = ch.stage_total[structure.var_stage]
+    weighted_latency = var_traffic * structure.var_latency
+    latency_scale = float(np.max(weighted_latency)) if n else 1.0
+    latency_scale = latency_scale or 1.0
+    cost = np.zeros(structure.n_total)
+    if objective is LpObjective.MIN_LATENCY:
+        cost[:n] = weighted_latency
+    elif objective is LpObjective.MIN_MLU:
+        cost[structure.beta_index] = 1.0
+        cost[:n] += (latency_tiebreak / latency_scale) * weighted_latency
+    else:
+        s1 = structure.stage1_vars
+        np.subtract.at(cost, s1, ch.stage_total[structure.var_stage[s1]])
+        min_demand = float(ch.stage_total[ch.stage_z == 1].min())
+        cost[:n] += (
+            latency_tiebreak * min_demand / latency_scale
+        ) * weighted_latency
+    return cost
+
+
 def solve_chain_routing_lp(
     model: NetworkModel,
     objective: LpObjective = LpObjective.MIN_LATENCY,
@@ -120,6 +544,160 @@ def solve_chain_routing_lp(
     if objective is LpObjective.MIN_MLU and not (model.links and model.routing):
         raise LpError("MIN_MLU requires links and routing fractions")
 
+    structure = _structure_for(model, objective, enforce_mlu, metrics)
+    ch = model.chain_columns()
+    cost = _cost_vector(structure, ch, objective, latency_tiebreak)
+    data_ub = structure.refreshed_ub_data(ch)
+    n = structure.n_flow
+    n_total = structure.n_total
+    n_constraints = len(structure.b_ub) + len(structure.b_eq)
+
+    x = None
+    objective_value = None
+    status = "optimal"
+    elapsed = 0.0
+    if (
+        objective is LpObjective.MAX_THROUGHPUT
+        and highs_backend.direct_backend_available()
+    ):
+        n_rows = len(structure.b_ub) + len(structure.b_eq)
+        rows = np.concatenate(
+            [structure.ub_rows, structure.eq_rows + len(structure.b_ub)]
+        )
+        cols = np.concatenate([structure.ub_cols, structure.eq_cols])
+        data = np.concatenate([data_ub, structure.eq_data])
+        matrix = csc_matrix((data, (rows, cols)), shape=(n_rows, n_total))
+        row_lower = np.concatenate(
+            [np.full(len(structure.b_ub), -np.inf), structure.b_eq]
+        )
+        row_upper = np.concatenate([structure.b_ub, structure.b_eq])
+        if structure.cg_solver is None:
+            structure.cg_solver = highs_backend.ColumnGenSolver()
+        start = time.perf_counter()
+        try:
+            x, objective_value = structure.cg_solver.solve(
+                cost,
+                matrix,
+                row_lower,
+                row_upper,
+                np.zeros(n_total),
+                np.ones(n_total),
+                seed_columns=structure.seed_columns,
+            )
+        except highs_backend.ColumnGenError:
+            x = None  # fall through to linprog below
+        elapsed = time.perf_counter() - start
+
+    if x is None:
+        a_ub = (
+            csr_matrix(
+                (data_ub, (structure.ub_rows, structure.ub_cols)),
+                shape=(len(structure.b_ub), n_total),
+            )
+            if len(structure.b_ub)
+            else None
+        )
+        a_eq = (
+            csr_matrix(
+                (structure.eq_data, (structure.eq_rows, structure.eq_cols)),
+                shape=(len(structure.b_eq), n_total),
+            )
+            if len(structure.b_eq)
+            else None
+        )
+        bounds: list[tuple[float, float | None]] = [(0.0, 1.0)] * n
+        if structure.beta_index is not None:
+            bounds.append((0.0, None))
+        start = time.perf_counter()
+        result = linprog(
+            cost,
+            A_ub=a_ub,
+            b_ub=structure.b_ub if a_ub is not None else None,
+            A_eq=a_eq,
+            b_eq=structure.b_eq if a_eq is not None else None,
+            bounds=bounds,
+            method="highs",
+        )
+        elapsed = time.perf_counter() - start
+        if not result.success:
+            status = (
+                "infeasible" if result.status == 2 else f"failed({result.status})"
+            )
+        else:
+            x = np.asarray(result.x)
+            if structure.beta_index is not None:
+                objective_value = float(x[structure.beta_index])
+            else:
+                objective_value = float(result.fun)
+
+    if metrics is not None:
+        # Wall-clock solver time: here the interesting duration is how
+        # long HiGHS takes on the host, not simulated seconds.
+        metrics.histogram(
+            "solver.lp_solve_s", objective=objective.value
+        ).observe(elapsed)
+        metrics.counter(
+            "solver.lp_solves",
+            objective=objective.value,
+            ok=str(bool(x is not None)).lower(),
+        ).inc()
+
+    if x is None:
+        return LpResult(status, None, None, n_total, n_constraints, elapsed)
+
+    if objective is LpObjective.MIN_MLU:
+        objective_value = float(x[structure.beta_index])
+
+    solution = _extract_solution(model, x[:n])
+    return LpResult(
+        "optimal", objective_value, solution, n_total, n_constraints, elapsed
+    )
+
+
+def _extract_solution(model: NetworkModel, x: np.ndarray) -> RoutingSolution:
+    """Build a :class:`RoutingSolution` from the flow-variable values."""
+    sub = model.substrate_columns()
+    ch = model.chain_columns()
+    vc = model.variable_columns()
+    solution = RoutingSolution(model)
+    for i in np.flatnonzero(x > RoutingSolution.EPSILON):
+        k = int(vc.var_stage[i])
+        solution.add_flow(
+            ch.chain_names[int(ch.stage_chain[k])],
+            int(ch.stage_z[k]),
+            sub.endpoint_names[int(vc.var_src_ep[i])],
+            sub.endpoint_names[int(vc.var_dst_ep[i])],
+            float(x[i]),
+        )
+    return solution
+
+
+# ---------------------------------------------------------------------------
+# Scalar reference implementation (pre-vectorization)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ScalarProgram:
+    """The fully assembled reference program (for equivalence tests)."""
+
+    cost: np.ndarray
+    a_ub: csr_matrix | None
+    b_ub: np.ndarray | None
+    a_eq: csr_matrix | None
+    b_eq: np.ndarray | None
+    bounds: list[tuple[float, float | None]]
+    space: _VariableSpace
+    n_total: int
+
+
+def _scalar_program(
+    model: NetworkModel,
+    objective: LpObjective,
+    enforce_mlu: bool,
+    latency_tiebreak: float,
+) -> _ScalarProgram:
+    """The original per-variable Python-loop assembly, kept verbatim."""
     space = _VariableSpace(model)
     n = len(space)
     # MIN_MLU adds the utilization variable beta after the flow variables.
@@ -285,21 +863,55 @@ def solve_chain_routing_lp(
     if beta_index is not None:
         bounds.append((0.0, None))
 
-    start = time.perf_counter()
-    result = linprog(
-        cost,
-        A_ub=a_ub,
+    return _ScalarProgram(
+        cost=cost,
+        a_ub=a_ub,
         b_ub=np.array(b_ub) if b_ub else None,
-        A_eq=a_eq,
+        a_eq=a_eq,
         b_eq=np.array(b_eq) if b_eq else None,
         bounds=bounds,
+        space=space,
+        n_total=n_total,
+    )
+
+
+def solve_chain_routing_lp_reference(
+    model: NetworkModel,
+    objective: LpObjective = LpObjective.MIN_LATENCY,
+    enforce_mlu: bool = True,
+    latency_tiebreak: float = 1e-6,
+    metrics: "MetricsRegistry | None" = None,
+) -> LpResult:
+    """The pre-vectorization scalar path: loop assembly + ``linprog``.
+
+    Kept as the ground truth for equivalence property tests; prefer
+    :func:`solve_chain_routing_lp` everywhere else.
+    """
+    if not model.chains:
+        raise LpError("model has no chains to route")
+    if objective is LpObjective.MIN_MLU and not (model.links and model.routing):
+        raise LpError("MIN_MLU requires links and routing fractions")
+
+    program = _scalar_program(model, objective, enforce_mlu, latency_tiebreak)
+    space = program.space
+    n = len(space)
+    beta_index = n if objective is LpObjective.MIN_MLU else None
+
+    start = time.perf_counter()
+    result = linprog(
+        program.cost,
+        A_ub=program.a_ub,
+        b_ub=program.b_ub,
+        A_eq=program.a_eq,
+        b_eq=program.b_eq,
+        bounds=program.bounds,
         method="highs",
     )
     elapsed = time.perf_counter() - start
-    n_constraints = len(b_ub) + len(b_eq)
+    n_constraints = (0 if program.b_ub is None else len(program.b_ub)) + (
+        0 if program.b_eq is None else len(program.b_eq)
+    )
     if metrics is not None:
-        # Wall-clock solver time: here the interesting duration is how
-        # long HiGHS takes on the host, not simulated seconds.
         metrics.histogram(
             "solver.lp_solve_s", objective=objective.value
         ).observe(elapsed)
@@ -311,7 +923,7 @@ def solve_chain_routing_lp(
 
     if not result.success:
         status = "infeasible" if result.status == 2 else f"failed({result.status})"
-        return LpResult(status, None, None, n_total, n_constraints, elapsed)
+        return LpResult(status, None, None, program.n_total, n_constraints, elapsed)
 
     solution = RoutingSolution(model)
     for i, (cname, z, src, dst) in enumerate(space.vars):
@@ -323,5 +935,5 @@ def solve_chain_routing_lp(
     else:
         objective_value = float(result.fun)
     return LpResult(
-        "optimal", objective_value, solution, n_total, n_constraints, elapsed
+        "optimal", objective_value, solution, program.n_total, n_constraints, elapsed
     )

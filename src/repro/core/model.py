@@ -283,6 +283,13 @@ class NetworkModel:
             raise ModelError("mlu_limit must be positive")
         self.mlu_limit = float(mlu_limit)
 
+        # Lazily built caches; the substrate ones are inherited by
+        # copy_with_chains since that shares this substrate.
+        self._substrate_columns = None
+        self._chain_columns = None
+        self._variable_columns = None
+        self._substrate_doc: dict | None = None
+
         self.chains: dict[str, Chain] = {}
         for chain in chains:
             self.add_chain(chain)
@@ -307,11 +314,57 @@ class NetworkModel:
                     f"chain {chain.name!r}: VNF {vnf_name!r} has no deployment sites"
                 )
         self.chains[chain.name] = chain
+        self._chain_columns = None
+        self._variable_columns = None
 
     def remove_chain(self, name: str) -> None:
         if name not in self.chains:
             raise ModelError(f"unknown chain {name!r}")
         del self.chains[name]
+        self._chain_columns = None
+        self._variable_columns = None
+
+    def invalidate_substrate(self) -> None:
+        """Drop every cached substrate-derived view.
+
+        Must be called after mutating substrate state in place (the only
+        sanctioned case is ``controller.failures`` flipping ``_latency``
+        entries); chain columns are dropped too because they embed
+        substrate indices, and the substrate document cache because
+        digests must reflect the new latencies.
+        """
+        self._substrate_columns = None
+        self._chain_columns = None
+        self._variable_columns = None
+        self._substrate_doc = None
+
+    # -- columnar views -------------------------------------------------
+
+    def substrate_columns(self):
+        """Cached :class:`~repro.core.columns.SubstrateColumns` view."""
+        if self._substrate_columns is None:
+            from repro.core.columns import SubstrateColumns
+
+            self._substrate_columns = SubstrateColumns(self)
+        return self._substrate_columns
+
+    def chain_columns(self):
+        """Cached :class:`~repro.core.columns.ChainColumns` view."""
+        if self._chain_columns is None:
+            from repro.core.columns import ChainColumns
+
+            self._chain_columns = ChainColumns(self, self.substrate_columns())
+        return self._chain_columns
+
+    def variable_columns(self):
+        """Cached LP variable expansion (see ``core/columns.py``)."""
+        if self._variable_columns is None:
+            from repro.core.columns import build_variable_columns
+
+            self._variable_columns = build_variable_columns(
+                self.substrate_columns(), self.chain_columns()
+            )
+        return self._variable_columns
 
     # -- lookups --------------------------------------------------------
 
@@ -401,39 +454,108 @@ class NetworkModel:
             unknown = [n for n in chain_names if n not in self.chains]
             if unknown:
                 raise ModelError(f"digest over unknown chains: {unknown}")
-        document = {
-            "nodes": sorted(self.nodes),
-            "latency": sorted(
-                (n1, n2, d) for (n1, n2), d in self._latency.items()
-            ),
-            "sites": sorted(
-                (s.name, s.node, s.capacity) for s in self.sites.values()
-            ),
-            "vnfs": sorted(
-                (v.name, v.load_per_unit, sorted(v.site_capacity.items()))
-                for v in self.vnfs.values()
-            ),
-            "links": sorted(
-                (link.name, link.src, link.dst, link.bandwidth, link.background)
-                for link in self.links.values()
-            ),
-            "routing": sorted(
-                (n1, n2, sorted(fractions.items()))
-                for (n1, n2), fractions in self.routing.items()
-            ),
-            "mlu_limit": self.mlu_limit,
-            "chains": [
-                (
-                    c.name,
-                    c.ingress,
-                    c.egress,
-                    list(c.vnfs),
-                    list(c.forward_traffic),
-                    list(c.reverse_traffic),
-                )
-                for c in (self.chains[n] for n in chain_names)
-            ],
-        }
+        document = dict(self._substrate_document())
+        document["chains"] = [
+            (
+                c.name,
+                c.ingress,
+                c.egress,
+                list(c.vnfs),
+                list(c.forward_traffic),
+                list(c.reverse_traffic),
+            )
+            for c in (self.chains[n] for n in chain_names)
+        ]
+        payload = json.dumps(document, separators=(",", ":"), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _substrate_document(self) -> dict:
+        """The substrate portion of the digest document (cached).
+
+        Sorting and flattening the substrate dominates digest cost on
+        repeated calls (the solver farm digests once per partition), so
+        the already-sorted fragments are built once and shared with
+        ``copy_with_chains`` copies.
+        """
+        if self._substrate_doc is None:
+            self._substrate_doc = {
+                "nodes": sorted(self.nodes),
+                "latency": sorted(
+                    (n1, n2, d) for (n1, n2), d in self._latency.items()
+                ),
+                "sites": sorted(
+                    (s.name, s.node, s.capacity) for s in self.sites.values()
+                ),
+                "vnfs": sorted(
+                    (v.name, v.load_per_unit, sorted(v.site_capacity.items()))
+                    for v in self.vnfs.values()
+                ),
+                "links": sorted(
+                    (link.name, link.src, link.dst, link.bandwidth, link.background)
+                    for link in self.links.values()
+                ),
+                "routing": sorted(
+                    (n1, n2, sorted(fractions.items()))
+                    for (n1, n2), fractions in self.routing.items()
+                ),
+                "mlu_limit": self.mlu_limit,
+            }
+        return self._substrate_doc
+
+    def structure_digest(self) -> str:
+        """Hash of the LP matrix *structure* this model induces.
+
+        Unlike :meth:`digest`, demand magnitudes are excluded (only
+        their zero/non-zero pattern matters to matrix sparsity) and
+        chains are listed in iteration order (which fixes variable
+        order).  Two models with equal structure digests produce
+        constraint matrices with identical sparsity patterns and
+        identical demand-independent entries, which is the contract the
+        LP matrix caches rely on (see DESIGN.md).
+        """
+        document = dict(self._substrate_document())
+        document["chain_structure"] = [
+            (
+                c.name,
+                c.ingress,
+                c.egress,
+                list(c.vnfs),
+                [w > 0 for w in c.forward_traffic],
+                [v > 0 for v in c.reverse_traffic],
+            )
+            for c in self.chains.values()
+        ]
+        payload = json.dumps(document, separators=(",", ":"), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def capacity_structure_digest(self) -> str:
+        """Hash of the capacity-planning LP structure this model induces.
+
+        Like :meth:`structure_digest`, but site capacities and per-site
+        VNF capacities are reduced to positivity flags: the cloud
+        capacity planner refreshes those magnitudes into the RHS and the
+        relief coefficients on every solve, so a budget sweep over
+        proportionally grown models reuses one cached matrix structure.
+        """
+        document = dict(self._substrate_document())
+        document["sites"] = sorted(
+            (s.name, s.node, s.capacity > 0) for s in self.sites.values()
+        )
+        document["vnfs"] = sorted(
+            (v.name, v.load_per_unit, sorted(v.site_capacity))
+            for v in self.vnfs.values()
+        )
+        document["chain_structure"] = [
+            (
+                c.name,
+                c.ingress,
+                c.egress,
+                list(c.vnfs),
+                [w > 0 for w in c.forward_traffic],
+                [v > 0 for v in c.reverse_traffic],
+            )
+            for c in self.chains.values()
+        ]
         payload = json.dumps(document, separators=(",", ":"), sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()
 
@@ -445,7 +567,7 @@ class NetworkModel:
 
     def copy_with_chains(self, chains: Iterable[Chain]) -> "NetworkModel":
         """A model sharing this substrate but with a different chain set."""
-        return NetworkModel(
+        clone = NetworkModel(
             nodes=self.nodes,
             latency=self._latency,
             sites=self.sites.values(),
@@ -455,6 +577,10 @@ class NetworkModel:
             routing=self.routing,
             mlu_limit=self.mlu_limit,
         )
+        # The substrate is shared, so its caches carry over.
+        clone._substrate_columns = self._substrate_columns
+        clone._substrate_doc = self._substrate_doc
+        return clone
 
     def copy_with_vnfs(self, vnfs: Iterable[VNF]) -> "NetworkModel":
         """A model sharing this substrate but with a different VNF catalog."""

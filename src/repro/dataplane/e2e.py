@@ -21,7 +21,9 @@ experiment (one route, then two).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 
 class E2EError(Exception):
@@ -76,6 +78,7 @@ class E2EResult:
     """Evaluated performance of the whole testbed."""
 
     routes: dict[str, RouteMetrics]
+    utilization: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_throughput_mbps(self) -> float:
@@ -171,7 +174,113 @@ class E2ETestbed:
     # -- evaluation ----------------------------------------------------------------
 
     def evaluate(self) -> E2EResult:
-        """Allocate max-min fair throughput and compute per-route RTTs."""
+        """Allocate max-min fair throughput and compute per-route RTTs.
+
+        The allocation is a vectorized water-filling over numpy
+        route/instance incidence arrays: each round computes the largest
+        uniform increment over all active routes at once, then freezes
+        every route bound by the binding instance (or its own cap) in one
+        mask operation.  ``evaluate_reference`` keeps the original scalar
+        progressive-filling loop for equivalence testing.
+        """
+        route_names = list(self.routes)
+        inst_names = list(self.instances)
+        n_routes = len(route_names)
+        n_inst = len(inst_names)
+        if n_routes == 0:
+            return E2EResult({}, {name: 0.0 for name in inst_names})
+
+        inst_index = {name: i for i, name in enumerate(inst_names)}
+        route_list = list(self.routes.values())
+        demands = np.array([route.demand_mbps for route in route_list])
+        caps = np.array(
+            [
+                min(route.demand_mbps, self.tcp_cap_mbps(route))
+                for route in route_list
+            ]
+        )
+        # membership[i, j] = 1.0 if instance i is on route j; occurrence
+        # counts multiplicity (a route may visit an instance twice).
+        membership = np.zeros((n_inst, n_routes))
+        occurrences = np.zeros((n_inst, n_routes))
+        for j, route in enumerate(route_list):
+            for inst_name in route.instances:
+                i = inst_index[inst_name]
+                membership[i, j] = 1.0
+                occurrences[i, j] += 1.0
+
+        capacity = np.array(
+            [spec.capacity_mbps for spec in self.instances.values()]
+        )
+        residual = capacity.copy()
+        rates = np.zeros(n_routes)
+        active = np.ones(n_routes, dtype=bool)
+        bottleneck: list[str | None] = [None] * n_routes
+
+        while active.any():
+            active_f = active.astype(float)
+            # Largest uniform increment before a route cap binds.
+            increment = float(np.min(caps[active] - rates[active]))
+            binding = -1
+            if n_inst:
+                users = membership @ active_f
+                inst_increment = np.full(n_inst, np.inf)
+                np.divide(
+                    residual, users, out=inst_increment, where=users > 0.0
+                )
+                tightest = float(inst_increment.min())
+                # Strict < replicates the scalar tie-break: a route cap
+                # that ties an instance wins, and the first instance (in
+                # insertion order) achieving the minimum is the binder.
+                if tightest < increment:
+                    increment = tightest
+                    binding = int(np.argmin(inst_increment))
+            increment = max(0.0, increment)
+
+            rates[active] += increment
+            residual -= increment * (occurrences @ active_f)
+            # Clamp: repeated subtraction may drift a fully used instance
+            # a few ulps below zero, which would report utilization > 1.
+            np.maximum(residual, 0.0, out=residual)
+
+            if binding < 0:
+                # A route cap bound first: freeze every route at its cap.
+                hit = active & (rates >= caps - 1e-9)
+                for j in np.flatnonzero(hit):
+                    bottleneck[j] = "tcp" if caps[j] < demands[j] else "demand"
+            else:
+                hit = active & (membership[binding] > 0.0)
+                for j in np.flatnonzero(hit):
+                    bottleneck[j] = inst_names[binding]
+            active &= ~hit
+
+        utilization_arr = np.divide(
+            capacity - residual,
+            capacity,
+            out=np.zeros(n_inst),
+            where=capacity > 0.0,
+        )
+        assert np.all(residual >= 0.0), "residual capacity drifted negative"
+        assert np.all(utilization_arr <= 1.0), "instance utilization above 1"
+        utilization = dict(zip(inst_names, utilization_arr.tolist()))
+
+        queue_delay = np.array(
+            [2.0 * self._queue_delay(u) for u in utilization_arr]
+        )
+        base_rtts = np.array([self.base_rtt(route) for route in route_list])
+        rtts = base_rtts + queue_delay @ occurrences
+        metrics = {
+            name: RouteMetrics(float(rates[j]), float(rtts[j]), bottleneck[j])
+            for j, name in enumerate(route_names)
+        }
+        return E2EResult(metrics, utilization)
+
+    def evaluate_reference(self) -> E2EResult:
+        """Scalar reference for :meth:`evaluate` (progressive filling).
+
+        Kept as the ground truth the vectorized allocator is
+        property-tested against; do not use on hot paths.
+        """
         caps = {
             name: min(route.demand_mbps, self.tcp_cap_mbps(route))
             for name, route in self.routes.items()
@@ -203,7 +312,9 @@ class E2ETestbed:
             for name in active:
                 rates[name] += increment
                 for inst_name in self.routes[name].instances:
-                    residual[inst_name] -= increment
+                    residual[inst_name] = max(
+                        0.0, residual[inst_name] - increment
+                    )
 
             if binding_instance is None:
                 # A route cap bound first: freeze every route at its cap.
@@ -231,7 +342,7 @@ class E2ETestbed:
             for inst_name in route.instances:
                 rtt += 2 * self._queue_delay(utilization[inst_name])
             metrics[name] = RouteMetrics(rates[name], rtt, bottleneck[name])
-        return E2EResult(metrics)
+        return E2EResult(metrics, utilization)
 
     def _queue_delay(self, utilization: float) -> float:
         u = min(utilization, 0.999)

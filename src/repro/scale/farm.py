@@ -218,6 +218,7 @@ class SolverFarm:
         )
         self.enforce_mlu = enforce_mlu
         self.plan: PartitionPlan | None = None
+        self._plan_key: tuple[str, int | None] | None = None
 
     # -- public entry points --------------------------------------------
 
@@ -228,11 +229,17 @@ class SolverFarm:
     ) -> FarmResult:
         """Partition (fresh proportional shares) and solve everything.
 
-        Identical back-to-back calls are served from the cache; after a
-        demand change prefer :meth:`resolve`, which keeps the stored
-        plan so unchanged partitions keep their cache keys.
+        Identical back-to-back calls reuse the stored plan (the
+        proportional shares are a pure function of the model, so
+        re-partitioning an unchanged model rebuilds the same plan) and
+        are served from the solution cache; after a demand change prefer
+        :meth:`resolve`, which keeps the stored plan so unchanged
+        partitions keep their cache keys.
         """
-        self.plan = partition_chains(model, self.partition_size)
+        plan_key = (model.digest(), self.partition_size)
+        if self.plan is None or self._plan_key != plan_key:
+            self.plan = partition_chains(model, self.partition_size)
+            self._plan_key = plan_key
         return self._run(model, objective, self.plan, resolve_only=None)
 
     def resolve(

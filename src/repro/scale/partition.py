@@ -44,6 +44,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+import numpy as np
+
+from repro.core.columns import ragged_gather
 from repro.core.model import Chain, CloudSite, Link, NetworkModel, VNF
 
 #: Relative objective gap the split-partition farm is expected to stay
@@ -186,8 +189,35 @@ def _chain_structure(chain: Chain) -> tuple:
     return (chain.ingress, chain.egress, chain.vnfs)
 
 
+def _stage_node_ids(
+    model: NetworkModel, sub, chain: Chain, z: int, destinations: bool
+) -> np.ndarray:
+    """Network-node indices of a stage's source or destination endpoints."""
+    names = (
+        model.stage_destinations(chain, z)
+        if destinations
+        else model.stage_sources(chain, z)
+    )
+    return np.fromiter(
+        (sub.node_index[model.endpoint_node(name)] for name in names),
+        dtype=np.int64,
+        count=len(names),
+    )
+
+
+def _pair_link_ids(sub, a_nodes: np.ndarray, b_nodes: np.ndarray) -> np.ndarray:
+    """Unique link indices any (a, b) node pair's traffic can cross."""
+    pids = sub.pair_id[np.ix_(a_nodes, b_nodes)].ravel()
+    p = pids[pids >= 0]
+    if p.size == 0:
+        return p
+    pool_idx, _ = ragged_gather(sub.pair_start[p], sub.pair_len[p])
+    return np.unique(sub.pool_link[pool_idx])
+
+
 def chain_resources(model: NetworkModel, chain: Chain) -> set[ResourceKey]:
     """Every capacity resource the chain's LP variables can touch."""
+    sub = model.substrate_columns()
     resources: set[ResourceKey] = set()
     for z in range(1, chain.num_stages + 1):
         if z < chain.num_stages:
@@ -200,16 +230,14 @@ def chain_resources(model: NetworkModel, chain: Chain) -> set[ResourceKey]:
         rev = chain.reverse_traffic[z - 1]
         if fwd <= 0 and rev <= 0:
             continue
-        for src in model.stage_sources(chain, z):
-            n1 = model.endpoint_node(src)
-            for dst in model.stage_destinations(chain, z):
-                n2 = model.endpoint_node(dst)
-                if fwd > 0:
-                    for name in model.links_between(n1, n2):
-                        resources.add(("link", name))
-                if rev > 0:
-                    for name in model.links_between(n2, n1):
-                        resources.add(("link", name))
+        srcs = _stage_node_ids(model, sub, chain, z, destinations=False)
+        dsts = _stage_node_ids(model, sub, chain, z, destinations=True)
+        if fwd > 0:
+            for li in _pair_link_ids(sub, srcs, dsts):
+                resources.add(("link", sub.link_names[li]))
+        if rev > 0:
+            for li in _pair_link_ids(sub, dsts, srcs):
+                resources.add(("link", sub.link_names[li]))
     return resources
 
 
@@ -308,6 +336,7 @@ def _chain_resource_weights(
     the chain could use gets a small uniform share
     (:data:`_LINK_OVERFLOW_WEIGHT`) so overflow routing stays possible.
     """
+    sub = model.substrate_columns()
     weights: dict[ResourceKey, float] = {}
     if link_usage:
         weights.update(link_usage)
@@ -343,18 +372,18 @@ def _chain_resource_weights(
                     key = ("link", name)
                     weights[key] = weights.get(key, 0.0) + rev * f
         overflow: set[ResourceKey] = set()
-        for src in model.stage_sources(chain, z):
-            a = model.endpoint_node(src)
-            for dst in model.stage_destinations(chain, z):
-                b = model.endpoint_node(dst)
-                if fwd > 0:
-                    overflow.update(
-                        ("link", n) for n in model.links_between(a, b)
-                    )
-                if rev > 0:
-                    overflow.update(
-                        ("link", n) for n in model.links_between(b, a)
-                    )
+        srcs = _stage_node_ids(model, sub, chain, z, destinations=False)
+        dsts = _stage_node_ids(model, sub, chain, z, destinations=True)
+        if fwd > 0:
+            overflow.update(
+                ("link", sub.link_names[li])
+                for li in _pair_link_ids(sub, srcs, dsts)
+            )
+        if rev > 0:
+            overflow.update(
+                ("link", sub.link_names[li])
+                for li in _pair_link_ids(sub, dsts, srcs)
+            )
         for key in overflow:
             if weights.get(key, 0.0) <= 0.0:
                 weights[key] = weights.get(key, 0.0) + (

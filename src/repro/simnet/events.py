@@ -8,6 +8,7 @@ increasing sequence number), which keeps every experiment reproducible.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -28,10 +29,11 @@ class _Event:
 class EventHandle:
     """Handle to a scheduled event; supports cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event):
+    def __init__(self, event: _Event, sim: "Simulator | None" = None):
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -44,7 +46,11 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self._event.cancelled:
+            return
         self._event.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
 
 class Simulator:
@@ -59,11 +65,15 @@ class Simulator:
         assert sim.now == 1.5 and fired == ["hello"]
     """
 
+    # Below this many queued events compaction is not worth the rebuild.
+    _COMPACT_MIN_PENDING = 64
+
     def __init__(self) -> None:
         self._heap: list[_Event] = []
         self._now = 0.0
         self._seq = 0
         self._events_processed = 0
+        self._cancelled_pending = 0
 
     @property
     def now(self) -> float:
@@ -84,6 +94,8 @@ class Simulator:
         self, delay: float, callback: Callable[..., None], *args: Any
     ) -> EventHandle:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if not math.isfinite(delay):
+            raise SimulationError(f"non-finite delay: {delay}")
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         return self.schedule_at(self._now + delay, callback, *args)
@@ -92,6 +104,8 @@ class Simulator:
         self, time: float, callback: Callable[..., None], *args: Any
     ) -> EventHandle:
         """Schedule ``callback(*args)`` to fire at absolute simulated ``time``."""
+        if not math.isfinite(time):
+            raise SimulationError(f"non-finite event time: {time}")
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
@@ -99,13 +113,33 @@ class Simulator:
         event = _Event(time=time, seq=self._seq, callback=callback, args=args)
         self._seq += 1
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
+
+    def _note_cancelled(self) -> None:
+        """Called by :class:`EventHandle` when a queued event is cancelled."""
+        self._cancelled_pending += 1
+        if (
+            len(self._heap) >= self._COMPACT_MIN_PENDING
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and re-heapify, bounding queue memory."""
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
+
+    def _discard_cancelled(self, event: _Event) -> None:
+        if self._cancelled_pending > 0:
+            self._cancelled_pending -= 1
 
     def step(self) -> bool:
         """Fire the next pending event.  Returns False when none remain."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._discard_cancelled(event)
                 continue
             self._now = event.time
             self._events_processed += 1
@@ -119,19 +153,38 @@ class Simulator:
 
         When ``until`` is given the clock is advanced to exactly ``until``
         even if the queue drains earlier, so periodic measurements can rely
-        on the final timestamp.
+        on the final timestamp.  If ``max_events`` exhausts the budget while
+        events are still pending, the clock advances as far toward ``until``
+        as possible without passing the next unfired event.
         """
         fired = 0
         while self._heap:
             if max_events is not None and fired >= max_events:
-                return
+                break
             next_event = self._heap[0]
             if next_event.cancelled:
                 heapq.heappop(self._heap)
+                self._discard_cancelled(next_event)
                 continue
             if until is not None and next_event.time > until:
                 break
             self.step()
             fired += 1
         if until is not None and until > self._now:
-            self._now = until
+            target = until
+            next_time = self._next_pending_time()
+            if next_time is not None:
+                target = min(target, next_time)
+            if target > self._now:
+                self._now = target
+
+    def _next_pending_time(self) -> float | None:
+        """Time of the earliest non-cancelled queued event, if any."""
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                self._discard_cancelled(event)
+                continue
+            return event.time
+        return None

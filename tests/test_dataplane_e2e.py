@@ -167,3 +167,39 @@ class TestAggregates:
         bed = make_testbed()
         result = bed.evaluate()
         assert result.total_throughput_mbps == 0.0
+
+
+class TestResidualDrift:
+    def _drift_testbed(self):
+        # 0.01 / 3 subtracted three times overshoots 0.01 by one ulp, so
+        # the unclamped allocator reported residual == -8.7e-19 and
+        # utilization > 1.0 for the shared instance.
+        bed = E2ETestbed(rtt_ms={("A", "B"): 80.0})
+        bed.add_instance(VnfInstanceSpec("shared", "A", capacity_mbps=0.01))
+        for i in range(3):
+            bed.add_route(E2ERoute(f"r{i}", ["A", "B"], ["shared"], 1.0))
+        return bed
+
+    def test_utilization_never_exceeds_one(self):
+        result = self._drift_testbed().evaluate()
+        assert result.utilization["shared"] <= 1.0
+        assert result.utilization["shared"] == pytest.approx(1.0)
+
+    def test_reference_allocator_also_clamps(self):
+        result = self._drift_testbed().evaluate_reference()
+        assert result.utilization["shared"] <= 1.0
+
+    def test_drift_case_splits_capacity_fairly(self):
+        result = self._drift_testbed().evaluate()
+        for i in range(3):
+            assert result.routes[f"r{i}"].throughput_mbps == pytest.approx(
+                0.01 / 3
+            )
+            assert result.routes[f"r{i}"].bottleneck == "shared"
+
+    def test_utilization_reported_in_result(self):
+        bed = make_testbed()
+        bed.add_route(E2ERoute("r", ["A", "B"], ["fwA"], 50.0))
+        result = bed.evaluate()
+        assert result.utilization["fwA"] == pytest.approx(0.5)
+        assert result.utilization["fwB"] == 0.0

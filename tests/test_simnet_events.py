@@ -45,6 +45,28 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             Simulator().schedule(-0.1, lambda: None)
 
+    def test_non_finite_delay_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(SimulationError):
+                Simulator().schedule(bad, lambda: None)
+
+    def test_non_finite_absolute_time_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(SimulationError):
+                Simulator().schedule_at(bad, lambda: None)
+
+    def test_nan_delay_cannot_poison_event_order(self):
+        # Regression: a NaN time used to pass both guards (nan < 0 is
+        # False) and break heap ordering for every later event.
+        sim = Simulator()
+        order = []
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), order.append, "poison")
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.run()
+        assert order == ["a", "b"]
+
     def test_schedule_at_in_past_rejected(self):
         sim = Simulator()
         sim.schedule(5.0, lambda: None)
@@ -129,3 +151,83 @@ class TestRunControl:
             sim.schedule(1.0, lambda: None)
         sim.run()
         assert sim.events_processed == 3
+
+    def test_max_events_advances_clock_toward_until(self):
+        # Regression: hitting the event budget used to return without
+        # advancing the clock, breaking the docstring's `until` promise.
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(8.0, fired.append, "c")
+        sim.run(until=10.0, max_events=2)
+        assert fired == ["a", "b"]
+        # Clock advances as far as possible without passing the unfired
+        # event at t=8.
+        assert sim.now == 8.0
+        sim.run(until=10.0)
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 10.0
+
+    def test_max_events_with_drained_queue_reaches_until(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=5.0, max_events=10)
+        assert sim.now == 5.0
+
+    def test_clock_stays_monotonic_after_budget_stop(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(3.0, lambda: None)
+        sim.run(until=10.0, max_events=1)
+        assert sim.now == 3.0
+        # The remaining event still fires at its own time, never earlier
+        # than the current clock.
+        sim.run()
+        assert sim.now == 3.0
+
+
+class TestHeapCompaction:
+    def test_cancelled_events_are_compacted(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(256)]
+        for handle in handles[: 200]:
+            handle.cancel()
+        # More than half of the queue was cancelled tombstones; the heap
+        # must have been compacted to near the 56 live events rather than
+        # retaining all 256 entries.
+        assert sim.pending < 128
+        sim.run()
+        assert sim.events_processed == 56
+
+    def test_small_queues_are_not_compacted(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for handle in handles[:8]:
+            handle.cancel()
+        assert sim.pending == 10  # tombstones retained below the threshold
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_compaction_preserves_order_and_cancellation(self):
+        sim = Simulator()
+        order = []
+        handles = {}
+        for i in range(300):
+            handles[i] = sim.schedule(float(i + 1), order.append, i)
+        cancelled = [i for i in range(300) if i % 3 != 0]
+        for i in cancelled:
+            handles[i].cancel()
+        sim.run()
+        assert order == [i for i in range(300) if i % 3 == 0]
+        for i in cancelled:
+            assert handles[i].cancelled
+
+    def test_schedule_and_cancel_loop_bounds_memory(self):
+        # Chaos-soak pattern: schedule a retransmit timer, then cancel it.
+        sim = Simulator()
+        sim.schedule(1e6, lambda: None)  # keep the sim alive
+        for i in range(10_000):
+            handle = sim.schedule(float(i + 1), lambda: None)
+            handle.cancel()
+        assert sim.pending < 1_000

@@ -1,0 +1,266 @@
+"""Equivalence properties for the vectorized hot paths.
+
+Each vectorized implementation keeps its pre-vectorization scalar
+twin in the tree as ground truth:
+
+- ``solve_chain_routing_lp`` (COO/columnar assembly) vs.
+  ``solve_chain_routing_lp_reference`` (per-variable loops);
+- ``plan_cloud_capacity`` vs. ``plan_cloud_capacity_reference``;
+- ``route_chains_dp`` with ``DpConfig(vectorized=True)`` vs. the
+  scalar stage recurrence;
+- ``E2ETestbed.evaluate`` (numpy water-filling) vs.
+  ``evaluate_reference`` (progressive filling).
+
+The matrix comparisons are at the 1e-9 level (in practice exact: the
+columnar assembly reproduces the scalar coefficient arithmetic, not
+just its solution), so any drift in either path trips these tests
+before it can silently change solver behaviour.  The cache round-trip
+tests pin the reuse/invalidation contract of the module-global
+constraint-matrix cache.
+"""
+
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+
+from repro.core import capacity as capacity_mod
+from repro.core import lp as lp_mod
+from repro.core.capacity import (
+    plan_cloud_capacity,
+    plan_cloud_capacity_reference,
+)
+from repro.core.dp import DpConfig, route_chains_dp
+from repro.core.lp import (
+    LpObjective,
+    clear_matrix_cache,
+    matrix_cache_stats,
+    solve_chain_routing_lp,
+    solve_chain_routing_lp_reference,
+)
+from repro.dataplane.e2e import E2ERoute, E2ETestbed, VnfInstanceSpec
+from repro.topology import WorkloadConfig, build_backbone, generate_workload
+from repro.topology.cities import DEFAULT_CITIES
+
+TOL = 1e-9
+
+
+def make_model(seed=3, num_chains=24, cities=8):
+    names = DEFAULT_CITIES[:cities]
+    config = WorkloadConfig(
+        num_chains=num_chains,
+        num_vnfs=6,
+        coverage=0.6,
+        total_traffic=4000.0,
+        site_capacity=9000.0,
+        cities=names,
+        seed=seed,
+    )
+    return generate_workload(config, build_backbone(names))
+
+
+def dense(matrix):
+    return np.zeros((0, 0)) if matrix is None else np.asarray(matrix.todense())
+
+
+class TestLpMatrixEquivalence:
+    """Columnar COO assembly == scalar per-variable assembly."""
+
+    @pytest.mark.parametrize("objective", list(LpObjective))
+    def test_matrices_match(self, objective):
+        model = make_model()
+        ch = model.chain_columns()
+        structure = lp_mod._structure_for(model, objective, True, None)
+        data_ub = structure.refreshed_ub_data(ch)
+        a_ub = csr_matrix(
+            (data_ub, (structure.ub_rows, structure.ub_cols)),
+            shape=(len(structure.b_ub), structure.n_total),
+        )
+        a_eq = csr_matrix(
+            (structure.eq_data, (structure.eq_rows, structure.eq_cols)),
+            shape=(len(structure.b_eq), structure.n_total),
+        )
+        cost = lp_mod._cost_vector(structure, ch, objective, 1e-6)
+
+        program = lp_mod._scalar_program(model, objective, True, 1e-6)
+        assert structure.n_total == program.n_total
+        assert np.max(np.abs(dense(a_ub) - dense(program.a_ub))) <= TOL
+        assert np.max(np.abs(structure.b_ub - program.b_ub)) <= TOL
+        assert np.max(np.abs(dense(a_eq) - dense(program.a_eq))) <= TOL
+        assert np.max(np.abs(structure.b_eq - program.b_eq)) <= TOL
+        assert np.max(np.abs(cost - program.cost)) <= TOL
+
+    @pytest.mark.parametrize(
+        "objective", [LpObjective.MIN_LATENCY, LpObjective.MAX_THROUGHPUT]
+    )
+    def test_solutions_match(self, objective):
+        model = make_model()
+        fast = solve_chain_routing_lp(model, objective)
+        slow = solve_chain_routing_lp_reference(model, objective)
+        assert fast.ok and slow.ok
+        # Degenerate optima may differ per-variable; the objective is
+        # the contract.
+        assert fast.solution.throughput() == pytest.approx(
+            slow.solution.throughput(), abs=1e-6
+        )
+
+
+class TestCapacityMatrixEquivalence:
+    def test_matrices_match(self):
+        model = make_model()
+        budget = 50000.0
+        structure = capacity_mod._capacity_structure_for(model)
+        rows, cols, data, b_ub = structure.refreshed_ub(model, budget)
+        a_ub = csr_matrix(
+            (data, (rows, cols)), shape=(structure.n_ub, structure.n_total)
+        )
+        a_eq = csr_matrix(
+            (structure.eq_data, (structure.eq_rows, structure.eq_cols)),
+            shape=(structure.n_eq, structure.n_total),
+        )
+        cost = np.zeros(structure.n_total)
+        cost[structure.alpha_index] = -1.0
+
+        program = capacity_mod._scalar_cloud_program(model, budget)
+        assert structure.n_total == program.n_total
+        assert structure.alpha_index == program.alpha_index
+        assert np.max(np.abs(dense(a_ub) - dense(program.a_ub))) <= TOL
+        assert np.max(np.abs(b_ub - program.b_ub)) <= TOL
+        assert np.max(np.abs(dense(a_eq) - dense(program.a_eq))) <= TOL
+        assert np.max(np.abs(np.asarray(program.b_eq))) <= TOL
+        assert np.max(np.abs(cost - program.cost)) <= TOL
+
+    def test_alpha_matches_reference(self):
+        model = make_model()
+        fast = plan_cloud_capacity(model, 50000.0)
+        slow = plan_cloud_capacity_reference(model, 50000.0)
+        assert fast.alpha == pytest.approx(slow.alpha, abs=1e-6)
+
+
+class TestDpVectorizedEquivalence:
+    @pytest.mark.parametrize("seed", [3, 7, 11])
+    def test_routes_identical(self, seed):
+        """Vectorized DP reproduces the scalar routes exactly.
+
+        Not approximately: the vectorized recurrence preserves the
+        scalar accumulation order and argmin tie-breaking, so the
+        chosen paths (and hence flows) must be identical.
+        """
+        model_v = make_model(seed=seed)
+        model_s = make_model(seed=seed)
+        vec = route_chains_dp(model_v, DpConfig(vectorized=True))
+        ref = route_chains_dp(model_s, DpConfig(vectorized=False))
+        assert vec.unrouted == ref.unrouted
+        for name, chain in model_v.chains.items():
+            for z in range(1, chain.num_stages + 1):
+                assert vec.solution.stage_flows(name, z) == ref.solution.stage_flows(name, z)
+
+
+class TestMaxMinEquivalence:
+    def _random_testbed(self, rng):
+        nodes = ["A", "B", "C", "D"]
+        rtt = {}
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                rtt[(a, b)] = float(rng.uniform(5.0, 120.0))
+        bed = E2ETestbed(rtt_ms=rtt)
+        inst_names = []
+        for i in range(rng.integers(2, 6)):
+            name = f"vnf{i}"
+            bed.add_instance(
+                VnfInstanceSpec(
+                    name,
+                    nodes[rng.integers(0, len(nodes))],
+                    capacity_mbps=float(rng.uniform(40.0, 400.0)),
+                )
+            )
+            inst_names.append(name)
+        for j in range(rng.integers(2, 10)):
+            hops = [nodes[rng.integers(0, len(nodes))] for _ in range(3)]
+            k = rng.integers(0, 3)
+            instances = [
+                inst_names[rng.integers(0, len(inst_names))] for _ in range(k)
+            ]
+            bed.add_route(
+                E2ERoute(
+                    f"r{j}", hops, instances, float(rng.uniform(10.0, 500.0))
+                )
+            )
+        return bed
+
+    def test_rates_match_reference(self):
+        rng = np.random.default_rng(42)
+        for _ in range(25):
+            bed = self._random_testbed(rng)
+            fast = bed.evaluate()
+            slow = bed.evaluate_reference()
+            assert set(fast.routes) == set(slow.routes)
+            for name in fast.routes:
+                f, s = fast.routes[name], slow.routes[name]
+                assert abs(f.throughput_mbps - s.throughput_mbps) <= TOL
+                assert abs(f.rtt_ms - s.rtt_ms) <= TOL
+                assert f.bottleneck == s.bottleneck
+            for name in fast.utilization:
+                assert (
+                    abs(fast.utilization[name] - slow.utilization[name]) <= TOL
+                )
+
+
+class TestMatrixCacheRoundTrip:
+    """Reuse on demand-only change, invalidation on topology change."""
+
+    def test_demand_change_reuses_structure(self):
+        clear_matrix_cache()
+        model = make_model()
+        solve_chain_routing_lp(model, LpObjective.MAX_THROUGHPUT)
+        stats = matrix_cache_stats()
+        assert stats["matrix_rebuilds"] == 1
+
+        # Scale one chain's demand: same variable space, new RHS.  The
+        # *last* chain in insertion order, so remove+add keeps the
+        # variable ordering (and hence the structure digest) intact.
+        name = list(model.chains)[-1]
+        chain = model.chains[name]
+        model.remove_chain(name)
+        model.add_chain(chain.scaled(1.7))
+        fast = solve_chain_routing_lp(model, LpObjective.MAX_THROUGHPUT)
+        stats = matrix_cache_stats()
+        assert stats["matrix_rebuilds"] == 1
+        assert stats["matrix_reuse_hits"] == 1
+        # The reused structure must still solve the *new* demands.
+        slow = solve_chain_routing_lp_reference(
+            model, LpObjective.MAX_THROUGHPUT
+        )
+        assert fast.solution.throughput() == pytest.approx(
+            slow.solution.throughput(), abs=1e-6
+        )
+        clear_matrix_cache()
+
+    def test_topology_change_invalidates(self):
+        clear_matrix_cache()
+        model = make_model()
+        solve_chain_routing_lp(model, LpObjective.MAX_THROUGHPUT)
+        assert matrix_cache_stats()["matrix_rebuilds"] == 1
+
+        # In-place latency mutation (what fail_link does) must not keep
+        # serving the stale structure once the caches are invalidated.
+        digest_before = model.structure_digest()
+        key = next(k for k, d in model._latency.items() if d > 0.0)
+        model._latency[key] = model._latency[key] * 3.0
+        model.invalidate_substrate()
+        assert model.structure_digest() != digest_before
+
+        solve_chain_routing_lp(model, LpObjective.MAX_THROUGHPUT)
+        assert matrix_cache_stats()["matrix_rebuilds"] == 2
+        clear_matrix_cache()
+
+    def test_fail_restore_link_round_trips_digest(self):
+        model = make_model()
+        digest_before = model.structure_digest()
+        key = next(k for k, d in model._latency.items() if d > 0.0)
+        stash = model._latency[key]
+        model._latency[key] = float("inf")
+        model.invalidate_substrate()
+        assert model.structure_digest() != digest_before
+        model._latency[key] = stash
+        model.invalidate_substrate()
+        assert model.structure_digest() == digest_before
