@@ -9,6 +9,7 @@ Usage::
     python -m repro timing
     python -m repro metrics [--publishes N] [--rate HZ] [--json]
     python -m repro scale [--chains N] [--partition-size K] [--workers W]
+    python -m repro federation [--pops N] [--chains N] [--regions K] [--soak OPS]
     python -m repro chaos [--seed N] [--duration S] [--json] [--out FILE]
     python -m repro bench [--suites A,B] [--compare] [--update-baselines] [--out DIR]
 """
@@ -399,6 +400,203 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_federation(args: argparse.Namespace) -> int:
+    """Federated two-level control plane on a generated PoP topology.
+
+    Builds the clustered PoP workload, cuts it into regions, installs
+    every chain through the :class:`GlobalCoordinator` (cross-shard
+    chains via split + 2PC), then times a cold federated plan and an
+    incremental re-plan.  ``--compare-monolithic`` also runs the
+    monolithic :class:`SolverFarm` on the same workload and reports
+    speedups and the throughput gap; ``--soak N`` runs the seeded
+    fault-injection soak instead.  Exit code 1 on any invariant
+    violation.
+    """
+    import json
+    import random
+
+    from repro.core.lp import LpObjective
+    from repro.federation import FaultPolicy, GlobalCoordinator, check_all
+    from repro.federation import run_soak as run_federation_soak
+    from repro.obs import MetricsRegistry, collect_federation, registry_to_dict
+    from repro.topology.pops import PopGridConfig, generate_federation_workload
+
+    config = PopGridConfig(
+        num_pops=args.pops,
+        num_metros=args.metros if args.metros else args.regions,
+        num_chains=args.chains,
+        locality=args.locality,
+        seed=args.seed,
+    )
+    start = time.perf_counter()
+    model, _metro_of = generate_federation_workload(config)
+    print(
+        f"workload: {args.pops} PoPs, {len(model.chains)} chains, "
+        f"{model.total_demand():.0f} units offered "
+        f"({time.perf_counter() - start:.1f}s to generate)"
+    )
+
+    registry = MetricsRegistry()
+    policy = None
+    if args.soak:
+        policy = FaultPolicy(
+            seed=args.seed,
+            reject_rate=args.reject_rate,
+            crash_rate=args.crash_rate,
+        )
+    start = time.perf_counter()
+    coordinator = GlobalCoordinator(
+        model,
+        n_regions=args.regions,
+        partition_size=args.partition_size,
+        max_workers=args.workers,
+        metrics=registry,
+        fault_policy=policy,
+    )
+    build_s = time.perf_counter() - start
+    stats = coordinator.stats()
+    print(
+        f"federation: {stats['regions']} regions, {stats['borders']} border "
+        f"links ({build_s:.1f}s to build)"
+    )
+
+    if args.soak:
+        chains = list(model.chains.values())
+        split = max(1, int(len(chains) * 0.7))
+        base, pool = chains[:split], chains[split:]
+        for chain in chains:
+            model.remove_chain(chain.name)
+        installed = 0
+        for chain in base:
+            try:
+                coordinator.submit(chain)
+                installed += 1
+            except Exception:
+                coordinator.sweep()
+        print(f"soak base: {installed}/{len(base)} chains installed")
+        report = run_federation_soak(
+            model, coordinator, pool, ops=args.soak, seed=args.seed
+        )
+        collect_federation(registry, coordinator)
+        report["metrics"] = registry_to_dict(registry)
+        if args.json:
+            print(json.dumps(report, indent=1, sort_keys=True))
+        else:
+            print(
+                f"soak: {report['ops']} ops, counts {report['counts']}, "
+                f"final {report['final_status']} "
+                f"({report['final_carried']:.0f}/"
+                f"{report['final_offered']:.0f} carried)"
+            )
+            for violation in report["violations"][:10]:
+                print(f"  VIOLATION [{violation['op']}] {violation['problem']}")
+        if args.out:
+            with open(args.out, "w") as handle:
+                json.dump(report, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+        return 0 if report["ok"] else 1
+
+    start = time.perf_counter()
+    sync = coordinator.sync_chains()
+    install_s = time.perf_counter() - start
+    stats = coordinator.stats()
+    print(
+        f"installed: {len(sync['added'])} chains in {install_s:.1f}s "
+        f"({stats['chains_cross']} cross-shard, "
+        f"{stats['cross_shard_ratio']:.1%})"
+    )
+
+    start = time.perf_counter()
+    cold = coordinator.plan_all(LpObjective.MAX_THROUGHPUT)
+    cold_s = time.perf_counter() - start
+    print(
+        f"federated cold:  {cold_s:7.2f}s  carried "
+        f"{cold.carried_demand:9.1f}/{cold.offered_demand:.1f}  "
+        f"status {cold.status}"
+    )
+
+    rng = random.Random(args.seed)
+    changed = rng.sample(sorted(model.chains), min(8, len(model.chains)))
+    for name in changed:
+        chain = model.chains[name]
+        model.remove_chain(name)
+        model.add_chain(chain.scaled(1.25))
+    start = time.perf_counter()
+    incr = coordinator.resolve(model, changed, LpObjective.MAX_THROUGHPUT)
+    incr_s = time.perf_counter() - start
+    print(
+        f"federated incr:  {incr_s:7.2f}s  carried "
+        f"{incr.carried_demand:9.1f}  regions re-solved "
+        f"{list(incr.resolved_regions)}"
+    )
+
+    problems = check_all(coordinator, incr)
+    print(f"invariants: {len(problems)} violations")
+    for problem in problems[:10]:
+        print(f"  VIOLATION {problem}")
+
+    report = {
+        "pops": args.pops,
+        "chains": len(model.chains),
+        "regions": args.regions,
+        "stats": stats,
+        "federated_cold_s": round(cold_s, 3),
+        "federated_incr_s": round(incr_s, 3),
+        "carried": round(incr.carried_demand, 3),
+        "offered": round(incr.offered_demand, 3),
+        "violations": problems,
+    }
+
+    if args.compare_monolithic:
+        from repro.scale import SolverFarm
+
+        farm = SolverFarm(
+            partition_size=args.partition_size, max_workers=args.workers
+        )
+        start = time.perf_counter()
+        mono_cold = farm.solve(model, LpObjective.MAX_THROUGHPUT)
+        mono_cold_s = time.perf_counter() - start
+        mono_carried = (
+            mono_cold.solution.throughput() if mono_cold.solution else 0.0
+        )
+        for name in changed:
+            chain = model.chains[name]
+            model.remove_chain(name)
+            model.add_chain(chain.scaled(1.1))
+        start = time.perf_counter()
+        farm.resolve(model, changed, LpObjective.MAX_THROUGHPUT)
+        mono_incr_s = time.perf_counter() - start
+        denom = max(mono_carried, 1e-9)
+        gap = abs(incr.carried_demand - mono_carried) / denom
+        print(
+            f"monolithic cold: {mono_cold_s:7.2f}s  carried "
+            f"{mono_carried:9.1f}   (federated speedup "
+            f"{mono_cold_s / max(cold_s, 1e-9):.1f}x)"
+        )
+        print(
+            f"monolithic incr: {mono_incr_s:7.2f}s   (federated speedup "
+            f"{mono_incr_s / max(incr_s, 1e-9):.1f}x)  carried gap {gap:.1%}"
+        )
+        report.update(
+            monolithic_cold_s=round(mono_cold_s, 3),
+            monolithic_incr_s=round(mono_incr_s, 3),
+            cold_speedup=round(mono_cold_s / max(cold_s, 1e-9), 2),
+            incr_speedup=round(mono_incr_s / max(incr_s, 1e-9), 2),
+            carried_gap=round(gap, 4),
+        )
+
+    collect_federation(registry, coordinator)
+    if args.json:
+        report["metrics"] = registry_to_dict(registry)
+        print(json.dumps(report, indent=1, sort_keys=True))
+    if args.out:
+        report.setdefault("metrics", registry_to_dict(registry))
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    return 0 if not problems else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Seeded chaos soak: play a fault schedule against a deployment
     while invariants are probed.  Exit code 1 if any invariant was
@@ -599,6 +797,38 @@ def build_parser() -> argparse.ArgumentParser:
         "already beats the monolithic solve)",
     )
     p.set_defaults(func=_cmd_scale)
+
+    p = sub.add_parser(
+        "federation",
+        help="federated two-level control plane on a generated PoP topology",
+    )
+    p.add_argument("--pops", type=int, default=96,
+                   help="generated PoPs (use 500 for the paper-scale run)")
+    p.add_argument("--chains", type=int, default=384,
+                   help="generated chains (use 100000 for full scale)")
+    p.add_argument("--regions", type=int, default=4)
+    p.add_argument("--metros", type=int, default=0,
+                   help="metro clusters in the generator "
+                   "(default: same as --regions)")
+    p.add_argument("--locality", type=float, default=0.8,
+                   help="probability a chain stays inside one metro")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--partition-size", type=int, default=16)
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool width inside each regional farm")
+    p.add_argument("--compare-monolithic", action="store_true",
+                   help="also run the monolithic SolverFarm for "
+                   "speedup and gap numbers")
+    p.add_argument("--soak", type=int, default=0, metavar="OPS",
+                   help="run the seeded fault-injection soak for OPS "
+                   "operations instead of the timing comparison")
+    p.add_argument("--reject-rate", type=float, default=0.15,
+                   help="soak: regional prepare rejection probability")
+    p.add_argument("--crash-rate", type=float, default=0.1,
+                   help="soak: coordinator mid-install crash probability")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--out", help="also write the JSON report to a file")
+    p.set_defaults(func=_cmd_federation)
 
     p = sub.add_parser(
         "chaos", help="seeded fault-injection soak with invariant checking"

@@ -897,6 +897,9 @@ class BusDrivenInstaller:
         self._cancel_redrive(pending)
         self._finish_open_stages(pending)
         self._clear_marker(name)
+        # Mirror bus-driven installs into an attached federation the
+        # same way the direct create_chain path does.
+        self.gs._notify_federation_installed(name)
         if self.metrics is not None:
             self.metrics.counter("install.completed").inc()
         if pending.on_complete is not None:

@@ -289,6 +289,9 @@ class NetworkModel:
         self._chain_columns = None
         self._variable_columns = None
         self._substrate_doc: dict | None = None
+        # The node list is immutable after construction; cache the set so
+        # per-chain validation stays O(1) on 100k-chain workloads.
+        self._node_set = node_set
 
         self.chains: dict[str, Chain] = {}
         for chain in chains:
@@ -299,11 +302,11 @@ class NetworkModel:
     def add_chain(self, chain: Chain) -> None:
         if chain.name in self.chains:
             raise ModelError(f"duplicate chain {chain.name!r}")
-        if chain.ingress not in set(self.nodes):
+        if chain.ingress not in self._node_set:
             raise ModelError(
                 f"chain {chain.name!r}: unknown ingress {chain.ingress!r}"
             )
-        if chain.egress not in set(self.nodes):
+        if chain.egress not in self._node_set:
             raise ModelError(f"chain {chain.name!r}: unknown egress {chain.egress!r}")
         for vnf_name in chain.vnfs:
             vnf = self.vnfs.get(vnf_name)
@@ -467,6 +470,21 @@ class NetworkModel:
             for c in (self.chains[n] for n in chain_names)
         ]
         payload = json.dumps(document, separators=(",", ":"), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def substrate_digest(self) -> str:
+        """A stable content hash of the substrate alone (hex SHA-256).
+
+        Covers nodes, latencies, sites, the VNF catalog, links, routing
+        fractions, and the MLU budget -- everything except the chains.
+        Used by :class:`repro.scale.partition.PartitionPlan` to detect
+        substrate edits (``fail_link``/``restore_link``) that must
+        invalidate a stored partitioning even though the chain set is
+        unchanged, and by ``repro.federation`` as the shard-map identity.
+        """
+        payload = json.dumps(
+            self._substrate_document(), separators=(",", ":"), sort_keys=True
+        )
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def _substrate_document(self) -> dict:

@@ -1,0 +1,64 @@
+"""repro.federation: sharded two-level switchboard hierarchy.
+
+A federated control plane for O(10k) sites and 100k+ chains: the
+substrate is cut into latency-coherent shards (``shard``), each owned
+by a :class:`RegionalSwitchboard` running the full columnar solver
+stack over its region alone (``regional``), with a thin
+:class:`GlobalCoordinator` (``coordinator``) that only handles chains
+crossing the cut -- splitting them at border sites, installing the
+segments with epoch-fenced two-phase commit against per-border
+capacity ledgers, and stitching the committed segments back into
+end-to-end paths.  ``invariants`` holds the safety probes and ``soak``
+the seeded fault-injection harness.
+"""
+
+from repro.federation.coordinator import (
+    CoordinatorCrash,
+    CrossChainRecord,
+    FederatedPlan,
+    GlobalCoordinator,
+)
+from repro.federation.invariants import (
+    check_all,
+    check_atomicity,
+    check_capacity_safety,
+    check_quiescence,
+    check_stitching,
+)
+from repro.federation.regional import (
+    BorderLedger,
+    RegionalSwitchboard,
+    SegmentSpec,
+    trivial_segment,
+)
+from repro.federation.shard import (
+    BorderLink,
+    FederationError,
+    ShardMap,
+    SubstrateShard,
+    build_shards,
+)
+from repro.federation.soak import FaultPolicy, run_soak
+
+__all__ = [
+    "BorderLedger",
+    "BorderLink",
+    "CoordinatorCrash",
+    "CrossChainRecord",
+    "FaultPolicy",
+    "FederatedPlan",
+    "FederationError",
+    "GlobalCoordinator",
+    "RegionalSwitchboard",
+    "SegmentSpec",
+    "ShardMap",
+    "SubstrateShard",
+    "build_shards",
+    "check_all",
+    "check_atomicity",
+    "check_capacity_safety",
+    "check_quiescence",
+    "check_stitching",
+    "run_soak",
+    "trivial_segment",
+]

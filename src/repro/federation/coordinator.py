@@ -1,0 +1,741 @@
+"""The thin global coordinator of the federated switchboard.
+
+The coordinator owns *only* what cannot be decided inside one shard:
+
+- **Classification** -- a submitted chain whose endpoints share a
+  region and whose VNFs are all deployed there is handed to that
+  :class:`~repro.federation.regional.RegionalSwitchboard` untouched
+  (the common case by construction: workloads are locality-biased).
+- **Splitting** -- a cross-shard chain is cut at border sites into
+  per-region segments: a small DP assigns each VNF to a region that
+  deploys it while minimising border crossings along the region graph,
+  the region sequence is expanded via :meth:`ShardMap.region_path`,
+  and each consecutive region pair gets a concrete
+  :class:`~repro.federation.shard.BorderLink` (best-first, rotating on
+  retry).  Segment demands are exact slices of the original per-stage
+  demands, and each crossing reserves the full stage demand on its
+  border ledger -- the stitched end-to-end path can never load a
+  border beyond the reservation.
+- **Atomic install** -- segments are installed with the epoch-fenced
+  two-phase commit of ``controller.protocol``: prepare every involved
+  region in order; any rejection aborts *all* prepared regions and the
+  next attempt re-splits with the next border choice; only a full set
+  of prepares commits.  A coordinator crash mid-prepare leaves fenced
+  residue that :meth:`GlobalCoordinator.sweep` reclaims, exactly like
+  ``resilience.sweeper``.
+- **Stitching** -- :meth:`end_to_end_route` reassembles the committed
+  segments and crossings into the end-to-end path;
+  ``federation.invariants`` checks continuity and demand conservation.
+
+Planning stays regional: :meth:`plan_all` runs each region's solver
+farm independently (embarrassingly parallel across regions; each farm
+is itself partitioned and cached) and merges the results into a
+:class:`FederatedPlan`.  The coordinator also duck-types the
+``GlobalSwitchboard`` solver strategy (``solve`` / ``resolve``), so
+``GlobalSwitchboard(model, solver=coordinator)`` transparently plans
+through the federation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.lp import LpObjective
+from repro.core.model import Chain, NetworkModel
+from repro.federation.regional import (
+    RegionalSwitchboard,
+    SegmentSpec,
+    trivial_segment,
+)
+from repro.federation.shard import BorderLink, FederationError, build_shards
+from repro.scale.farm import FarmResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
+
+_EPS = 1e-9
+
+
+class CoordinatorCrash(Exception):
+    """Injected coordinator failure mid-install (fault testing)."""
+
+
+@dataclass
+class CrossChainRecord:
+    """A committed cross-shard chain: its segments and crossings."""
+
+    chain: Chain
+    segments: tuple[SegmentSpec, ...]
+    attempt: int
+
+
+@dataclass
+class FederatedPlan:
+    """Merged outcome of per-region solves.
+
+    Duck-types the ``status`` / ``objective`` / ``ok`` surface of
+    :class:`~repro.core.lp.LpResult`; there is deliberately no merged
+    ``RoutingSolution`` (regions route over disjoint sub-models), so
+    federated accounting lives in ``carried_demand`` (cross-shard
+    chains counted once, bottlenecked by their weakest segment) and
+    ``violations`` (per-region LP invariants plus border ledger
+    bounds).
+    """
+
+    status: str
+    objective: float | None
+    per_region: dict[int, FarmResult]
+    wall_seconds: float
+    carried_demand: float
+    offered_demand: float
+    violations: list[str] = field(default_factory=list)
+    #: Regions actually re-solved on this call (resolve path).
+    resolved_regions: tuple[int, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "optimal"
+
+    @property
+    def solution(self) -> None:
+        return None
+
+    @property
+    def solve_seconds(self) -> float:
+        return self.wall_seconds
+
+
+class GlobalCoordinator:
+    """Two-level control plane: regional switchboards + thin global tier."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        n_regions: int = 4,
+        partition_size: int | None = 16,
+        max_workers: int = 1,
+        max_attempts: int = 3,
+        metrics: "MetricsRegistry | None" = None,
+        fault_policy=None,
+    ):
+        self.model = model
+        self.metrics = metrics
+        self.max_attempts = max_attempts
+        self.fault_policy = fault_policy
+        self.shard_map = build_shards(model, n_regions)
+        self.regionals: dict[int, RegionalSwitchboard] = {}
+        for shard in self.shard_map.shards:
+            regional_model = self.shard_map.regional_model(model, shard.region)
+            self.regionals[shard.region] = RegionalSwitchboard(
+                region=shard.region,
+                model=regional_model,
+                owned_borders=[
+                    self.shard_map.borders[b] for b in shard.owned_borders
+                ],
+                partition_size=partition_size,
+                max_workers=max_workers,
+                metrics=metrics,
+            )
+        #: Installed intra chains: name -> owning region.
+        self._intra: dict[str, int] = {}
+        #: Installed cross-shard chains: name -> record.
+        self._cross: dict[str, CrossChainRecord] = {}
+        self._attempt = 0
+        #: region -> (regional generation at solve time, result); reuse
+        #: is only safe while the region's model is unchanged since.
+        self._last_plans: dict[int, tuple[int, FarmResult]] = {}
+        self._gauge("federation.regions", self.shard_map.n_regions)
+        self._gauge("federation.coordinator.queue_depth", 0)
+
+    # -- install / remove -------------------------------------------------
+
+    def submit(self, chain: Chain) -> int | CrossChainRecord:
+        """Install one chain; returns the owning region (intra) or the
+        cross-shard record.  The chain is registered in the federated
+        model; a failed cross-shard install deregisters it again."""
+        name = chain.name
+        if name in self._intra or name in self._cross:
+            raise FederationError(f"chain {name!r} is already installed")
+        added = name not in self.model.chains
+        if added:
+            self.model.add_chain(chain)
+        region = self._classify(chain)
+        if region is not None:
+            self.regionals[region].admit(chain)
+            self._intra[name] = region
+            self._inc("federation.chains.intra")
+            self._update_ratio()
+            return region
+        try:
+            record = self._install_cross(chain)
+        except (FederationError, CoordinatorCrash):
+            if added and name in self.model.chains:
+                self.model.remove_chain(name)
+            raise
+        self._inc("federation.chains.cross")
+        self._update_ratio()
+        return record
+
+    def submit_all(self, chains: Iterable[Chain]) -> list[int | CrossChainRecord]:
+        """Drain a batch through :meth:`submit`, tracking queue depth."""
+        queue = list(chains)
+        results: list[int | CrossChainRecord] = []
+        for i, chain in enumerate(queue):
+            self._gauge("federation.coordinator.queue_depth", len(queue) - i)
+            results.append(self.submit(chain))
+        self._gauge("federation.coordinator.queue_depth", 0)
+        return results
+
+    def remove(self, name: str) -> None:
+        """Tear down an installed chain (intra or cross-shard)."""
+        if name in self._intra:
+            region = self._intra.pop(name)
+            self.regionals[region].evict(name)
+        elif name in self._cross:
+            record = self._cross.pop(name)
+            for seg in record.segments:
+                self.regionals[seg.region].teardown(seg.chain.name)
+        else:
+            raise FederationError(f"chain {name!r} is not installed")
+        if name in self.model.chains:
+            self.model.remove_chain(name)
+        self._update_ratio()
+
+    def installed(self) -> list[str]:
+        return sorted(set(self._intra) | set(self._cross))
+
+    def is_cross(self, name: str) -> bool:
+        return name in self._cross
+
+    def sweep(self) -> list[tuple[int, str]]:
+        """Backstop GC: reclaim prepared-but-uncommitted segment residue
+        abandoned by a crashed coordinator.  Call at quiescence."""
+        released: list[tuple[int, str]] = []
+        for region in sorted(self.regionals):
+            for key in self.regionals[region].sweep():
+                released.append((region, key))
+        self._inc("federation.sweeps")
+        if released:
+            if self.metrics is not None:
+                self.metrics.counter("federation.orphans_released").inc(
+                    len(released)
+                )
+        return released
+
+    # -- planning ---------------------------------------------------------
+
+    def plan_all(
+        self, objective: LpObjective = LpObjective.MAX_THROUGHPUT
+    ) -> FederatedPlan:
+        """Cold/warm plan: every region's farm solves independently."""
+        start = time.perf_counter()
+        per_region = {
+            region: self.regionals[region].plan(objective)
+            for region in sorted(self.regionals)
+        }
+        self._last_plans = {
+            region: (self.regionals[region].generation, result)
+            for region, result in per_region.items()
+        }
+        return self._merge(
+            per_region,
+            objective,
+            time.perf_counter() - start,
+            resolved=tuple(sorted(per_region)),
+        )
+
+    def solve(
+        self,
+        model: NetworkModel,
+        objective: LpObjective = LpObjective.MAX_THROUGHPUT,
+    ) -> FederatedPlan:
+        """``GlobalSwitchboard`` solver-strategy entry point.
+
+        Syncs the federation against the (shared) full model -- new
+        chains are installed, gone chains torn down, demand changes
+        pushed into regional copies -- then plans every region."""
+        self.sync_chains()
+        return self.plan_all(objective)
+
+    def resolve(
+        self,
+        model: NetworkModel,
+        changed_chains: Iterable[str],
+        objective: LpObjective = LpObjective.MAX_THROUGHPUT,
+    ) -> FederatedPlan:
+        """Incremental federated re-plan after demand changes.
+
+        Only regions hosting a changed chain (or a segment of one)
+        re-solve -- and inside each, only the touched partitions, via
+        the farm's own incremental path.  Untouched regions reuse their
+        last result."""
+        start = time.perf_counter()
+        by_region: dict[int, set[str]] = {}
+        for name in set(changed_chains):
+            chain = self.model.chains.get(name)
+            if chain is None:
+                raise FederationError(f"unknown chain {name!r}")
+            if name in self._intra:
+                region = self._intra[name]
+                self.regionals[region].update_demand(chain)
+                by_region.setdefault(region, set()).add(name)
+            elif name in self._cross:
+                for seg in self._refresh_segments(name, chain):
+                    if not trivial_segment(seg.chain):
+                        by_region.setdefault(seg.region, set()).add(
+                            seg.chain.name
+                        )
+            else:
+                raise FederationError(f"chain {name!r} is not installed")
+        per_region: dict[int, FarmResult] = {}
+        for region in sorted(self.regionals):
+            regional = self.regionals[region]
+            changed = by_region.get(region)
+            cached = self._last_plans.get(region)
+            if changed:
+                per_region[region] = regional.reoptimize(
+                    sorted(changed), objective
+                )
+            elif cached is not None and cached[0] == regional.generation:
+                per_region[region] = cached[1]
+            else:
+                # Model mutated since the cached plan (install/remove):
+                # an empty incremental pass re-merges from the farm's
+                # own solution cache, solving only actual misses.
+                per_region[region] = regional.reoptimize([], objective)
+        self._last_plans = {
+            region: (self.regionals[region].generation, result)
+            for region, result in per_region.items()
+        }
+        return self._merge(
+            per_region,
+            objective,
+            time.perf_counter() - start,
+            resolved=tuple(sorted(by_region)),
+        )
+
+    # -- stitching / introspection ----------------------------------------
+
+    def end_to_end_route(self, name: str) -> tuple[dict, ...]:
+        """The stitched path: segments interleaved with border crossings."""
+        if name in self._intra:
+            return (
+                {
+                    "kind": "segment",
+                    "region": self._intra[name],
+                    "name": name,
+                },
+            )
+        record = self._cross.get(name)
+        if record is None:
+            raise FederationError(f"chain {name!r} is not installed")
+        hops: list[dict] = []
+        for seg in record.segments:
+            hops.append(
+                {
+                    "kind": "segment",
+                    "region": seg.region,
+                    "name": seg.chain.name,
+                    "ingress": seg.chain.ingress,
+                    "egress": seg.chain.egress,
+                    "vnfs": seg.chain.vnfs,
+                }
+            )
+            for link_name, demand in seg.border_demands:
+                border = self.shard_map.borders[link_name]
+                hops.append(
+                    {
+                        "kind": "border",
+                        "name": link_name,
+                        "src": border.src,
+                        "dst": border.dst,
+                        "src_region": border.src_region,
+                        "dst_region": border.dst_region,
+                        "demand": demand,
+                    }
+                )
+        return tuple(hops)
+
+    def border_utilization(self) -> dict[str, float]:
+        """Reserved share of each border link's headroom."""
+        utilization: dict[str, float] = {}
+        for regional in self.regionals.values():
+            for name, ledger in regional.ledgers.items():
+                if ledger.capacity <= 0:
+                    utilization[name] = float(
+                        "inf" if ledger.reserved() > _EPS else 0.0
+                    )
+                else:
+                    utilization[name] = ledger.reserved() / ledger.capacity
+        return utilization
+
+    def stats(self) -> dict:
+        total = len(self._intra) + len(self._cross)
+        return {
+            "regions": self.shard_map.n_regions,
+            "borders": len(self.shard_map.borders),
+            "chains_intra": len(self._intra),
+            "chains_cross": len(self._cross),
+            "cross_shard_ratio": (len(self._cross) / total) if total else 0.0,
+            "region_chains": {
+                region: len(self.regionals[region].model.chains)
+                for region in sorted(self.regionals)
+            },
+        }
+
+    def sync_chains(self) -> dict[str, list[str]]:
+        """Reconcile installed state against the shared full model."""
+        want = set(self.model.chains)
+        have = set(self._intra) | set(self._cross)
+        removed = sorted(have - want)
+        for name in removed:
+            self.remove(name)
+        added = sorted(want - have)
+        for name in added:
+            self.submit(self.model.chains[name])
+        updated: list[str] = []
+        for name in sorted(want & have):
+            chain = self.model.chains[name]
+            if name in self._intra:
+                region = self._intra[name]
+                if self.regionals[region].model.chains.get(name) is not chain:
+                    self.regionals[region].update_demand(chain)
+                    updated.append(name)
+            else:
+                if self._cross[name].chain is not chain:
+                    self._refresh_segments(name, chain)
+                    updated.append(name)
+        return {"added": added, "removed": removed, "updated": updated}
+
+    # -- internals ---------------------------------------------------------
+
+    def _classify(self, chain: Chain) -> int | None:
+        """Owning region when the chain is intra-shard, else ``None``."""
+        ingress_region = self.shard_map.region_of(self.model, chain.ingress)
+        egress_region = self.shard_map.region_of(self.model, chain.egress)
+        if ingress_region != egress_region:
+            return None
+        regional = self.regionals[ingress_region]
+        if all(vnf in regional.model.vnfs for vnf in chain.vnfs):
+            return ingress_region
+        return None
+
+    def _assign_vnf_regions(self, chain: Chain) -> list[int]:
+        """DP: per-VNF region assignment minimising border crossings
+        along ingress-region -> r_1 -> ... -> r_L -> egress-region."""
+        smap = self.shard_map
+        ingress_region = smap.region_of(self.model, chain.ingress)
+        egress_region = smap.region_of(self.model, chain.egress)
+        candidates: list[list[int]] = []
+        for vnf in chain.vnfs:
+            options = sorted(
+                region
+                for region, regional in self.regionals.items()
+                if vnf in regional.model.vnfs
+            )
+            if not options:
+                raise FederationError(
+                    f"chain {chain.name!r}: VNF {vnf!r} is deployed nowhere"
+                )
+            candidates.append(options)
+
+        def crossings(a: int, b: int) -> int:
+            return len(smap.region_path(a, b)) - 1
+
+        # dp[r] = (cost, assignment-so-far ending in region r)
+        dp: dict[int, tuple[int, tuple[int, ...]]] = {
+            ingress_region: (0, ())
+        }
+        for options in candidates:
+            nxt: dict[int, tuple[int, tuple[int, ...]]] = {}
+            for region in options:
+                best: tuple[int, tuple[int, ...]] | None = None
+                for prev, (cost, path) in sorted(dp.items()):
+                    total = cost + crossings(prev, region)
+                    if best is None or total < best[0]:
+                        best = (total, path + (region,))
+                if best is not None:
+                    nxt[region] = best
+            if not nxt:
+                raise FederationError(
+                    f"chain {chain.name!r}: no reachable region for a VNF"
+                )
+            dp = nxt
+        best: tuple[int, tuple[int, ...]] | None = None
+        for region, (cost, path) in sorted(dp.items()):
+            total = cost + crossings(region, egress_region)
+            if best is None or total < best[0]:
+                best = (total, path)
+        assert best is not None
+        return list(best[1])
+
+    def _split(self, chain: Chain, choice: int) -> list[SegmentSpec]:
+        """Cut a cross-shard chain into per-region segments.
+
+        ``choice`` rotates the border pick between adjacent regions --
+        the deterministic retry lever after a border-capacity
+        rejection."""
+        smap = self.shard_map
+        ingress_region = smap.region_of(self.model, chain.ingress)
+        egress_region = smap.region_of(self.model, chain.egress)
+        assigned = self._assign_vnf_regions(chain)
+
+        sequence: list[int] = [ingress_region]
+        for region in [*assigned, egress_region]:
+            sequence.extend(smap.region_path(sequence[-1], region)[1:])
+
+        segment_vnfs: list[list[str]] = [[] for _ in sequence]
+        pointer = 0
+        for vnf, region in zip(chain.vnfs, assigned):
+            while sequence[pointer] != region:
+                pointer += 1
+            segment_vnfs[pointer].append(vnf)
+
+        crossings: list[BorderLink] = []
+        for k in range(len(sequence) - 1):
+            options = smap.borders_between(sequence[k], sequence[k + 1])
+            if not options:  # pragma: no cover - region_path guarantees
+                raise FederationError(
+                    f"no border from region {sequence[k]} to {sequence[k + 1]}"
+                )
+            crossings.append(options[choice % len(options)])
+
+        segments: list[SegmentSpec] = []
+        stage_ptr = 1
+        for k, region in enumerate(sequence):
+            vnfs = segment_vnfs[k]
+            forward = chain.forward_traffic[stage_ptr - 1 : stage_ptr + len(vnfs)]
+            reverse = chain.reverse_traffic[stage_ptr - 1 : stage_ptr + len(vnfs)]
+            ingress = chain.ingress if k == 0 else crossings[k - 1].dst
+            egress = chain.egress if k == len(sequence) - 1 else crossings[k].src
+            stage_ptr += len(vnfs)
+            border_demands: tuple[tuple[str, float], ...] = ()
+            if k < len(sequence) - 1:
+                border_demands = (
+                    (crossings[k].name, chain.stage_traffic(stage_ptr)),
+                )
+            segments.append(
+                SegmentSpec(
+                    origin=chain.name,
+                    index=k,
+                    region=region,
+                    chain=Chain(
+                        f"{chain.name}@s{k}",
+                        ingress,
+                        egress,
+                        vnfs,
+                        forward,
+                        reverse,
+                    ),
+                    border_demands=border_demands,
+                )
+            )
+        if stage_ptr != chain.num_stages:  # pragma: no cover - invariant
+            raise FederationError(
+                f"chain {chain.name!r}: stage accounting drift in split"
+            )
+        return segments
+
+    def _install_cross(self, chain: Chain) -> CrossChainRecord:
+        """Epoch-fenced 2PC across every region the split touches."""
+        for attempt_no in range(self.max_attempts):
+            self._attempt += 1
+            attempt = self._attempt
+            segments = self._split(chain, choice=attempt_no)
+            prepared: list[SegmentSpec] = []
+            rejected = False
+            for seg in segments:
+                self._inc("federation.2pc.prepares")
+                ok = not self._fault_reject(
+                    chain.name, seg.region, attempt_no
+                ) and self.regionals[seg.region].prepare(seg, attempt)
+                if not ok:
+                    self._inc("federation.2pc.rejections")
+                    rejected = True
+                    break
+                prepared.append(seg)
+                crash_after = self._fault_crash(chain.name, attempt_no)
+                if crash_after is not None and len(prepared) >= crash_after:
+                    # Crash mid-install: prepared residue stays behind
+                    # (fenced by its attempt epoch) until sweep().
+                    raise CoordinatorCrash(chain.name)
+            if not rejected:
+                for seg in segments:
+                    self.regionals[seg.region].commit(seg.chain.name, attempt)
+                self._inc("federation.2pc.commits")
+                record = CrossChainRecord(chain, tuple(segments), attempt)
+                self._cross[chain.name] = record
+                return record
+            for seg in prepared:
+                self.regionals[seg.region].abort(seg.chain.name, attempt)
+            self._inc("federation.2pc.aborts")
+        raise FederationError(
+            f"install of {chain.name!r} exhausted {self.max_attempts} attempts"
+        )
+
+    def _refresh_segments(
+        self, name: str, chain: Chain
+    ) -> tuple[SegmentSpec, ...]:
+        """Push new demands into a committed chain's segments (structure
+        and border choices are kept; only demand slices change)."""
+        record = self._cross[name]
+        stage_ptr = 1
+        refreshed: list[SegmentSpec] = []
+        for seg in record.segments:
+            n_vnfs = len(seg.chain.vnfs)
+            forward = chain.forward_traffic[stage_ptr - 1 : stage_ptr + n_vnfs]
+            reverse = chain.reverse_traffic[stage_ptr - 1 : stage_ptr + n_vnfs]
+            stage_ptr += n_vnfs
+            border_demands = tuple(
+                (link_name, chain.stage_traffic(stage_ptr))
+                for link_name, _old in seg.border_demands
+            )
+            refreshed.append(
+                SegmentSpec(
+                    origin=name,
+                    index=seg.index,
+                    region=seg.region,
+                    chain=Chain(
+                        seg.chain.name,
+                        seg.chain.ingress,
+                        seg.chain.egress,
+                        seg.chain.vnfs,
+                        forward,
+                        reverse,
+                    ),
+                    border_demands=border_demands,
+                )
+            )
+        # Validate every border resize up front so the refresh is atomic
+        # across segments (no partial demand push on failure).
+        for seg in refreshed:
+            for link_name, amount in seg.border_demands:
+                ledger = self.regionals[seg.region].ledgers[link_name]
+                if not ledger.fits_update(seg.chain.name, amount):
+                    raise FederationError(
+                        f"chain {name!r}: border {link_name!r} cannot fit "
+                        f"the new demand of {seg.chain.name!r}"
+                    )
+        for seg in refreshed:
+            self.regionals[seg.region].update_segment(seg)
+        record.chain = chain
+        record.segments = tuple(refreshed)
+        return record.segments
+
+    def _merge(
+        self,
+        per_region: dict[int, FarmResult],
+        objective: LpObjective,
+        wall_seconds: float,
+        resolved: tuple[int, ...],
+    ) -> FederatedPlan:
+        status = "optimal"
+        for result in per_region.values():
+            if not result.ok:
+                status = result.status
+                break
+        objectives = [
+            r.objective for r in per_region.values() if r.objective is not None
+        ]
+        if not objectives:
+            merged_objective = None
+        elif objective is LpObjective.MIN_MLU:
+            merged_objective = max(objectives)
+        else:
+            merged_objective = sum(objectives)
+
+        carried = 0.0
+        offered = 0.0
+        for name, region in self._intra.items():
+            chain = self.model.chains[name]
+            demand = chain.stage_traffic(1)
+            offered += demand
+            solution = per_region[region].solution
+            if solution is not None:
+                carried += solution.routed_fraction(name) * demand
+        for name, record in self._cross.items():
+            demand = record.chain.stage_traffic(1)
+            offered += demand
+            fraction = 1.0
+            for seg in record.segments:
+                if trivial_segment(seg.chain):
+                    continue
+                solution = per_region[seg.region].solution
+                if solution is None:
+                    fraction = 0.0
+                    break
+                fraction = min(
+                    fraction, solution.routed_fraction(seg.chain.name)
+                )
+            carried += fraction * demand
+
+        violations: list[str] = []
+        for region in sorted(per_region):
+            solution = per_region[region].solution
+            if solution is not None:
+                violations.extend(
+                    f"region {region}: {problem}"
+                    for problem in solution.violations()
+                )
+        violations.extend(self.border_violations())
+        return FederatedPlan(
+            status=status,
+            objective=merged_objective,
+            per_region=per_region,
+            wall_seconds=wall_seconds,
+            carried_demand=carried,
+            offered_demand=offered,
+            violations=violations,
+            resolved_regions=resolved,
+        )
+
+    def border_violations(self, tol: float = 1e-6) -> list[str]:
+        """Border-capacity contract: reservations within link headroom."""
+        problems: list[str] = []
+        for region in sorted(self.regionals):
+            for name, ledger in sorted(self.regionals[region].ledgers.items()):
+                reserved = ledger.reserved()
+                if reserved > ledger.capacity + tol:
+                    problems.append(
+                        f"border {name!r} (region {region}) over-reserved: "
+                        f"{reserved:.6g} > {ledger.capacity:.6g}"
+                    )
+        return problems
+
+    def _fault_reject(self, chain: str, region: int, attempt_no: int) -> bool:
+        policy = self.fault_policy
+        return bool(
+            policy is not None
+            and policy.reject_prepare(chain, region, attempt_no)
+        )
+
+    def _fault_crash(self, chain: str, attempt_no: int) -> int | None:
+        policy = self.fault_policy
+        if policy is None:
+            return None
+        return policy.crash_after_prepares(chain, attempt_no)
+
+    def _inc(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(name).set(value)
+
+    def _update_ratio(self) -> None:
+        total = len(self._intra) + len(self._cross)
+        self._gauge(
+            "federation.cross_shard_ratio",
+            (len(self._cross) / total) if total else 0.0,
+        )
+
+
+__all__ = [
+    "CoordinatorCrash",
+    "CrossChainRecord",
+    "FederatedPlan",
+    "GlobalCoordinator",
+]

@@ -1,0 +1,159 @@
+"""Invariant probes for the federated control plane.
+
+These are the checks the chaos soak (and the tests) run after every
+operation; each returns a list of human-readable problem strings
+(empty == invariant holds).
+
+- :func:`check_capacity_safety` -- the composition argument from
+  ``federation.shard``: per-region LP feasibility (the regional
+  solution's own :meth:`~repro.core.routes.RoutingSolution.violations`)
+  plus the border contract (no ledger reserved beyond its link's
+  headroom).
+- :func:`check_atomicity` -- 2PC all-or-nothing: every installed
+  cross-shard chain has *all* of its segments committed in their
+  regions, and no region holds a committed segment whose origin chain
+  the coordinator does not consider installed (no partial installs in
+  either direction).
+- :func:`check_quiescence` -- with no install in flight, no region
+  holds prepared-but-uncommitted residue (a crashed coordinator's
+  leftovers must be gone after :meth:`GlobalCoordinator.sweep`).
+- :func:`check_stitching` -- stitched cross-shard paths are
+  continuous (segment egress == border source, border destination ==
+  next segment ingress, regions match) and conserve demand (each
+  crossing reserves exactly the stage demand at the cut).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federation.coordinator import FederatedPlan, GlobalCoordinator
+
+_EPS = 1e-6
+
+
+def check_capacity_safety(
+    coordinator: "GlobalCoordinator", plan: "FederatedPlan | None" = None
+) -> list[str]:
+    problems = list(coordinator.border_violations())
+    if plan is not None:
+        for region in sorted(plan.per_region):
+            solution = plan.per_region[region].solution
+            if solution is None:
+                continue
+            problems.extend(
+                f"region {region}: {p}" for p in solution.violations()
+            )
+    return problems
+
+
+def check_atomicity(coordinator: "GlobalCoordinator") -> list[str]:
+    problems: list[str] = []
+    committed_by_region = {
+        region: set(regional.committed_segments())
+        for region, regional in coordinator.regionals.items()
+    }
+    seen: dict[int, set[str]] = {r: set() for r in committed_by_region}
+    for name, record in coordinator._cross.items():
+        for seg in record.segments:
+            key = seg.chain.name
+            if key not in committed_by_region[seg.region]:
+                problems.append(
+                    f"chain {name!r}: segment {key!r} not committed in "
+                    f"region {seg.region} (partial install)"
+                )
+            else:
+                seen[seg.region].add(key)
+    for region, committed in committed_by_region.items():
+        for key in sorted(committed - seen[region]):
+            problems.append(
+                f"region {region}: committed segment {key!r} belongs to no "
+                f"installed chain (orphan commit)"
+            )
+    return problems
+
+
+def check_quiescence(coordinator: "GlobalCoordinator") -> list[str]:
+    problems: list[str] = []
+    for region, regional in sorted(coordinator.regionals.items()):
+        for key in regional.prepared_segments():
+            problems.append(
+                f"region {region}: prepared residue {key!r} at quiescence"
+            )
+        for name, ledger in sorted(regional.ledgers.items()):
+            for key in sorted(ledger.prepared):
+                problems.append(
+                    f"border {name!r}: prepared reservation {key!r} "
+                    f"at quiescence"
+                )
+    return problems
+
+
+def check_stitching(coordinator: "GlobalCoordinator") -> list[str]:
+    problems: list[str] = []
+    for name in sorted(coordinator._cross):
+        record = coordinator._cross[name]
+        chain = record.chain
+        hops = coordinator.end_to_end_route(name)
+        segments = [h for h in hops if h["kind"] == "segment"]
+        if segments[0]["ingress"] != chain.ingress:
+            problems.append(f"chain {name!r}: stitched ingress mismatch")
+        if segments[-1]["egress"] != chain.egress:
+            problems.append(f"chain {name!r}: stitched egress mismatch")
+        stitched_vnfs = [v for s in segments for v in s["vnfs"]]
+        if tuple(stitched_vnfs) != chain.vnfs:
+            problems.append(
+                f"chain {name!r}: stitched VNF order "
+                f"{tuple(stitched_vnfs)} != {chain.vnfs}"
+            )
+        for i in range(len(hops) - 1):
+            a, b = hops[i], hops[i + 1]
+            if a["kind"] == "segment" and b["kind"] == "border":
+                if a["egress"] != b["src"] or a["region"] != b["src_region"]:
+                    problems.append(
+                        f"chain {name!r}: segment {a['name']!r} does not "
+                        f"hand off at border {b['name']!r}"
+                    )
+            if a["kind"] == "border" and b["kind"] == "segment":
+                if b["ingress"] != a["dst"] or b["region"] != a["dst_region"]:
+                    problems.append(
+                        f"chain {name!r}: border {a['name']!r} does not "
+                        f"land on segment {b['name']!r}"
+                    )
+        # Demand conservation at the cuts: each crossing carries the
+        # original chain's stage demand at the cut stage.
+        stage_ptr = 1
+        border_iter = iter(h for h in hops if h["kind"] == "border")
+        for seg_hop in segments[:-1]:
+            stage_ptr += len(seg_hop["vnfs"])
+            border = next(border_iter)
+            expected = chain.stage_traffic(stage_ptr)
+            if abs(border["demand"] - expected) > _EPS:
+                problems.append(
+                    f"chain {name!r}: border {border['name']!r} reserves "
+                    f"{border['demand']:.6g}, stage demand is {expected:.6g}"
+                )
+    return problems
+
+
+def check_all(
+    coordinator: "GlobalCoordinator",
+    plan: "FederatedPlan | None" = None,
+    quiescent: bool = True,
+) -> list[str]:
+    problems = check_capacity_safety(coordinator, plan)
+    problems += check_atomicity(coordinator)
+    problems += check_stitching(coordinator)
+    if quiescent:
+        problems += check_quiescence(coordinator)
+    return problems
+
+
+__all__ = [
+    "check_all",
+    "check_atomicity",
+    "check_capacity_safety",
+    "check_quiescence",
+    "check_stitching",
+]

@@ -19,6 +19,7 @@ from repro.obs.collect import (
     collect_bench,
     collect_bus,
     collect_dataplane,
+    collect_federation,
     collect_network,
     collect_resilience,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "collect_bench",
     "collect_bus",
     "collect_dataplane",
+    "collect_federation",
     "collect_network",
     "collect_resilience",
     "registry_to_dict",

@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.bus.bus import GlobalMessageBus
     from repro.controller.protocol import BusDrivenInstaller
     from repro.dataplane.forwarder import DataPlane
+    from repro.federation.coordinator import GlobalCoordinator
     from repro.resilience.failover import FailoverManager
     from repro.resilience.sweeper import ReconciliationSweeper
     from repro.simnet.network import SimNetwork
@@ -116,6 +117,45 @@ def collect_bench(
         registry.gauge("bench.mean_s", suite=suite).set(stats.mean)
         registry.gauge("bench.median_s", suite=suite).set(stats.median)
         registry.gauge("bench.stddev_s", suite=suite).set(stats.stddev)
+
+
+def collect_federation(
+    registry: MetricsRegistry, coordinator: "GlobalCoordinator"
+) -> None:
+    """Federated control-plane snapshot gauges.
+
+    Live ``federation.*`` counters (2PC phases, install counts, the
+    ``federation.region_solve_s`` histogram) accumulate on the
+    coordinator's own registry when one is attached; this collector
+    adds the point-in-time shape of the federation -- shard/border
+    structure, installed-chain split, segment population, and border
+    ledger occupancy -- so a report is complete even for a coordinator
+    built without metrics.
+    """
+    stats = coordinator.stats()
+    registry.gauge("federation.regions").set(stats["regions"])
+    registry.gauge("federation.borders").set(stats["borders"])
+    registry.gauge("federation.chains_intra").set(stats["chains_intra"])
+    registry.gauge("federation.chains_cross").set(stats["chains_cross"])
+    registry.gauge("federation.cross_shard_ratio").set(
+        stats["cross_shard_ratio"]
+    )
+    for region, regional in sorted(coordinator.regionals.items()):
+        registry.gauge("federation.region_chains", region=region).set(
+            len(regional.model.chains)
+        )
+        registry.gauge("federation.region_segments", region=region).set(
+            len(regional.committed_segments())
+        )
+        registry.gauge("federation.region_prepared", region=region).set(
+            len(regional.prepared_segments())
+        )
+    for name, utilization in sorted(
+        coordinator.border_utilization().items()
+    ):
+        registry.gauge("federation.border_utilization", border=name).set(
+            utilization
+        )
 
 
 def collect_dataplane(registry: MetricsRegistry, dataplane: "DataPlane") -> None:

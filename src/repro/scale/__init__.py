@@ -37,6 +37,7 @@ from repro.scale.partition import (
     chain_resources,
     coupling_groups,
     partition_chains,
+    shard_map,
 )
 
 __all__ = [
@@ -55,5 +56,6 @@ __all__ = [
     "coupling_groups",
     "optimality_gap",
     "partition_chains",
+    "shard_map",
     "solve_request",
 ]

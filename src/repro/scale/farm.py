@@ -254,8 +254,12 @@ class SolverFarm:
         are demand-independent), so only partitions containing a chain
         in ``changed_chains`` get new cache keys and are re-solved;
         everything else merges straight from the cache.  Falls back to a
-        full :meth:`solve` when no compatible plan exists (first call,
-        or the chain set / chain structure changed).
+        full :meth:`solve` when no compatible plan exists: first call,
+        the chain set / chain structure changed, or the *substrate*
+        changed underneath the plan (``fail_link``/``restore_link``
+        mutate latencies in place and call ``invalidate_substrate()``;
+        the plan's stored substrate digest then no longer matches, so
+        the stale proportional shares are rebuilt rather than reused).
         """
         changed = set(changed_chains)
         if self.plan is None or not self.plan.compatible_with(model):

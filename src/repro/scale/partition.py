@@ -90,10 +90,17 @@ class PartitionPlan:
         partitions: list[Partition],
         shares: dict[int, dict[ResourceKey, float]],
         structure: dict[str, tuple],
+        substrate_digest: str | None = None,
     ):
         self.partitions = partitions
         self._shares = shares
         self._structure = structure
+        #: Substrate content hash at build time.  The coupling groups,
+        #: the DP pre-route, and the proportional link shares all depend
+        #: on the substrate, so a plan must not outlive substrate edits
+        #: (``fail_link``/``restore_link`` mutate latencies in place and
+        #: only call ``invalidate_substrate()``).
+        self.substrate_digest = substrate_digest
         self.chain_partition: dict[str, int] = {}
         for part in partitions:
             for name in part.chains:
@@ -109,8 +116,16 @@ class PartitionPlan:
 
         Demands may differ (that is the point of reuse); names, chain
         structure (ingress/egress/VNF list), and the substrate identity
-        captured at build time must match.
+        captured at build time must match.  A substrate edit (e.g. a
+        link failure flipping latencies to ``inf`` mid-round) changes
+        the substrate digest and forces a replan -- the stored shares
+        were computed against pre-edit link budgets and routing.
         """
+        if (
+            self.substrate_digest is not None
+            and self.substrate_digest != model.substrate_digest()
+        ):
+            return False
         if set(model.chains) != set(self._structure):
             return False
         return all(
@@ -502,7 +517,138 @@ def partition_chains(
                         sub_touched[resource] / touched[resource]
                     )
             shares[index] = part_shares
-    return PartitionPlan(partitions, shares, structure)
+    return PartitionPlan(
+        partitions, shares, structure, substrate_digest=model.substrate_digest()
+    )
+
+
+def _node_distance(model: NetworkModel, a: str, b: str) -> float:
+    """Latency metric between two nodes; missing pairs are infinitely far."""
+    try:
+        return model.latency(a, b)
+    except Exception:
+        return float("inf")
+
+
+def _shard_seeds(
+    model: NetworkModel, nodes: list[str], n_shards: int
+) -> list[str]:
+    """Farthest-first seed nodes, deterministic under name tie-breaks."""
+
+    def total_distance(node: str) -> float:
+        total = 0.0
+        for other in nodes:
+            d = _node_distance(model, node, other)
+            if d != float("inf"):
+                total += d
+        return total
+
+    # Most peripheral node first (maximum total finite distance), then
+    # repeatedly the node farthest from every chosen seed.  All ties go
+    # to the lexicographically smallest name, so the seed sequence -- and
+    # with it the whole shard map -- is byte-stable across runs.
+    seeds = [min(nodes, key=lambda n: (-total_distance(n), n))]
+    while len(seeds) < n_shards:
+        remaining = [n for n in nodes if n not in seeds]
+        seeds.append(
+            min(
+                remaining,
+                key=lambda n: (
+                    -min(_node_distance(model, n, s) for s in seeds),
+                    n,
+                ),
+            )
+        )
+    return seeds
+
+
+def shard_map(model: NetworkModel, n_shards: int) -> tuple[tuple[str, ...], ...]:
+    """Deterministically partition the substrate's nodes into ``n_shards``
+    latency-coherent regions.
+
+    This is the federation counterpart of :func:`coupling_groups`: where
+    coupling groups cluster *chains* by the capacity resources they
+    share, the shard map clusters *nodes* under the same latency metric
+    that drives both the DP pre-route and the resource coupling -- so
+    chains whose endpoints and candidate sites fall inside one shard
+    tend to form intra-shard coupling groups, and the cross-shard
+    residue is what :class:`repro.federation.GlobalCoordinator` splits at
+    borders.
+
+    The algorithm is farthest-first seeding over pairwise latency
+    followed by quota-bounded region growth along physical links (each
+    region holds at most ``ceil(n_nodes / n_shards)`` nodes, and a node
+    joins a region only through a link to a node already inside it, so
+    regions are connected subgraphs whenever the substrate is).  Models
+    without links fall back to nearest-seed metric assignment.  Every
+    choice is tie-broken on node names and the returned regions are
+    ordered by their smallest member, so the output is **byte-stable**
+    across runs and replayable under ``repro.chaos`` -- no dict
+    iteration order leaks in.
+
+    Returns a tuple of ``n_shards`` disjoint, name-sorted node tuples
+    covering every node.
+    """
+    nodes = sorted(model.nodes)
+    if not 1 <= n_shards <= len(nodes):
+        raise PartitionError(
+            f"n_shards must be in [1, {len(nodes)}], got {n_shards}"
+        )
+    if n_shards == 1:
+        return (tuple(nodes),)
+
+    seeds = _shard_seeds(model, nodes, n_shards)
+    quota = -(-len(nodes) // n_shards)
+    assignment: dict[str, int] = {seed: i for i, seed in enumerate(seeds)}
+    region_sizes = [1] * n_shards
+
+    adjacency: dict[str, set[str]] = {n: set() for n in nodes}
+    for link in model.links.values():
+        adjacency[link.src].add(link.dst)
+        adjacency[link.dst].add(link.src)
+
+    if model.links:
+        # Grow regions along links: repeatedly admit the unassigned node
+        # closest (to its region's seed) among all frontier candidates.
+        unassigned = set(nodes) - assignment.keys()
+        while unassigned:
+            best: tuple[float, str, int] | None = None
+            for node in unassigned:
+                for neighbour in adjacency[node]:
+                    region = assignment.get(neighbour)
+                    if region is None or region_sizes[region] >= quota:
+                        continue
+                    candidate = (
+                        _node_distance(model, seeds[region], node),
+                        node,
+                        region,
+                    )
+                    if best is None or candidate < best:
+                        best = candidate
+            if best is None:
+                break  # stranded nodes (disconnected / full neighbours)
+            _, node, region = best
+            assignment[node] = region
+            region_sizes[region] += 1
+            unassigned.discard(node)
+    else:
+        unassigned = set(nodes) - assignment.keys()
+
+    # Metric fallback for whatever region growth could not reach: the
+    # nearest seed that still has quota, ties on (distance, seed index).
+    for node in sorted(unassigned):
+        region = min(
+            (r for r in range(n_shards) if region_sizes[r] < quota),
+            key=lambda r: (_node_distance(model, seeds[r], node), r),
+        )
+        assignment[node] = region
+        region_sizes[region] += 1
+
+    members: list[list[str]] = [[] for _ in range(n_shards)]
+    for node, region in assignment.items():
+        members[region].append(node)
+    regions = sorted(tuple(sorted(m)) for m in members)
+    return tuple(regions)
 
 
 __all__ = [
@@ -513,4 +659,5 @@ __all__ = [
     "chain_resources",
     "coupling_groups",
     "partition_chains",
+    "shard_map",
 ]

@@ -59,6 +59,7 @@ def build_backbone(
     core_capacity: float = 400.0,
     edge_capacity: float = 100.0,
     long_haul_pairs: int = 4,
+    ecmp=None,
 ) -> Backbone:
     """Build the synthetic backbone.
 
@@ -72,6 +73,14 @@ def build_backbone(
     core_capacity / edge_capacity:
         Link bandwidths (abstract Gbps); links whose endpoints both have
         degree >= ``core_degree_threshold`` get core capacity.
+    ecmp:
+        Optional replacement for the default ECMP fraction computation
+        (``graph -> routing dict``).  The default enumerates all
+        shortest paths per pair, which is quadratic in paths and
+        intractable beyond a few dozen PoPs;
+        :func:`repro.topology.pops.ecmp_routing` is the equivalent
+        path-counting implementation used for generated large
+        topologies.
     """
     cities = tuple(cities)
     if len(cities) < 2:
@@ -133,7 +142,7 @@ def build_backbone(
         links.append(Link(f"{b}-{a}", b, a, capacity))
 
     latency = _pairwise_latency(graph)
-    routing = _ecmp_routing(graph)
+    routing = (ecmp or _ecmp_routing)(graph)
     return Backbone(cities, graph, latency, links, routing)
 
 

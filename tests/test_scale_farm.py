@@ -109,6 +109,33 @@ class TestIncrementalResolve:
         assert result.ok
         assert len(result.solved) == 3  # full re-plan, no stale cache use
 
+    def test_resolve_after_substrate_edit_replans(self):
+        # Regression: ``fail_link``/``restore_link`` mutate latencies in
+        # place and call ``invalidate_substrate()`` -- the chain set is
+        # unchanged, but the stored partition plan (shares, pre-route)
+        # was computed against the old substrate and must not be reused.
+        model = clustered_model(3)
+        farm = SolverFarm(partition_size=1, max_workers=1)
+        first = farm.solve(model, LpObjective.MIN_LATENCY)
+        plan_before = farm.plan
+        # Degrade cluster 0's b0-c0 link the way fail_link does.
+        model._latency[("b0", "c0")] = 100.0
+        model.invalidate_substrate()
+        assert not plan_before.compatible_with(model)
+        result = farm.resolve(model, [], LpObjective.MIN_LATENCY)
+        assert farm.plan is not plan_before  # plan was rebuilt
+        assert result.ok
+        # The detour through site A (latency 30) replaces the broken
+        # a0->b0->c0 path (latency 25), so the optimum strictly worsens.
+        assert result.objective > first.objective + 1.0
+        # Restoring the exact pre-edit latency makes the substrate
+        # digest match again and the re-plan converges back.
+        model._latency[("b0", "c0")] = 15.0
+        model.invalidate_substrate()
+        restored = farm.resolve(model, [], LpObjective.MIN_LATENCY)
+        assert restored.ok
+        assert restored.objective == pytest.approx(first.objective, rel=1e-6)
+
 
 class TestPoolAndFallback:
     def test_pool_matches_serial(self):
