@@ -25,6 +25,7 @@ import json
 import random
 import time
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 from repro.bus.bus import GlobalMessageBus, make_bus, proxy_name
 from repro.bus.topics import Topic
@@ -605,12 +606,20 @@ def _mean_carried(gs: GlobalSwitchboard) -> float:
 def run_soak(
     config: SoakConfig | None = None,
     scenario: Scenario | None = None,
+    extra_probes: "dict[str, Callable[[], Iterable[str]]] | None" = None,
 ) -> SoakReport:
     """Run one seeded chaos soak end to end.
 
     Passing an explicit ``scenario`` replays that exact schedule (e.g.
     one parsed from a previously saved report); otherwise the schedule
     is generated from ``config.seed``.
+
+    ``extra_probes`` registers additional invariant probes (name ->
+    zero-argument callable returning problem strings) on the same
+    checker cadence -- e.g. the
+    :func:`repro.federation.invariants.federation_probes` registry when
+    a federated coordinator is deployed alongside, so subsystem soaks
+    do not grow private probe loops.
     """
     config = config or SoakConfig()
     d = build_deployment(config)
@@ -658,6 +667,9 @@ def run_soak(
     )
     checker.add("bus_delivery", bus_delivery(d.bus))
     checker.add("lease_safety", lease_safety(d.monitor))
+    if extra_probes:
+        for name, probe in extra_probes.items():
+            checker.add(name, probe)
     checker.start(config.duration_s)
 
     d.net.run(until=config.duration_s)

@@ -200,6 +200,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         collect_bench,
         collect_bus,
         collect_dataplane,
+        collect_federation,
         collect_network,
         collect_resilience,
         registry_to_json,
@@ -307,6 +308,45 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         },
     )
 
+    # Phase 4: federated resilience micro-drill.  A tiny two-region
+    # partition-tolerant deployment takes one coordinator crash while
+    # live chains arrive at the regional front ends, so the report also
+    # carries the federation resilience gauges: failovers, ledger
+    # reconciliations, degraded-mode admissions, cross-shard queue
+    # depth.
+    from repro.federation import FederationChaosConfig
+    from repro.federation.chaos import build_federation_deployment
+
+    fed_config = FederationChaosConfig(
+        seed=2,
+        duration_s=12.0,
+        pops=8,
+        regions=2,
+        chains=12,
+        link_flaps=0,
+        partition=False,
+        region_restart=False,
+        lease_duration_s=1.0,
+        install_deadline_s=3.0,
+    )
+    fed = build_federation_deployment(fed_config)
+    fed.failover.start(until=fed_config.duration_s)
+    fed_rng = random.Random("metrics-fed")
+    for chain in fed.live_chains:
+        region = fed.primary.shard_map.region_of(fed.model, chain.ingress)
+        fed.sim.schedule_at(
+            fed_rng.uniform(0.5, 4.0), fed.region_nodes[region].submit, chain
+        )
+    fed.sim.schedule(2.0, fed.failover.crash_active)
+    fed.net.run(until=fed_config.duration_s)
+    fed.net.run()
+    collect_federation(
+        registry,
+        fed.failover.active,
+        failover=fed.failover,
+        nodes=fed.region_nodes.values(),
+    )
+
     collect_network(registry, net)
     collect_bus(registry, bus)
     collect_dataplane(registry, dp)
@@ -409,7 +449,10 @@ def _cmd_federation(args: argparse.Namespace) -> int:
     incremental re-plan.  ``--compare-monolithic`` also runs the
     monolithic :class:`SolverFarm` on the same workload and reports
     speedups and the throughput gap; ``--soak N`` runs the seeded
-    fault-injection soak instead.  Exit code 1 on any invariant
+    fault-injection soak instead; ``--chaos-soak`` runs the full
+    partition-tolerant deployment (coordinator failover, durable
+    ledgers, degraded-mode regions) against a seeded schedule of real
+    link, partition, and crash faults.  Exit code 1 on any invariant
     violation.
     """
     import json
@@ -420,6 +463,25 @@ def _cmd_federation(args: argparse.Namespace) -> int:
     from repro.federation import run_soak as run_federation_soak
     from repro.obs import MetricsRegistry, collect_federation, registry_to_dict
     from repro.topology.pops import PopGridConfig, generate_federation_workload
+
+    if args.chaos_soak:
+        from repro.federation import FederationChaosConfig, run_federation_chaos
+
+        chaos_config = FederationChaosConfig(
+            seed=args.seed,
+            duration_s=args.duration,
+            pops=args.pops,
+            regions=args.regions,
+            chains=args.chains,
+            locality=args.locality,
+            partition_size=args.partition_size,
+        )
+        report = run_federation_chaos(chaos_config)
+        print(report.to_json() if args.json else report.render())
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(report.to_json() + "\n")
+        return 0 if report.passed else 1
 
     config = PopGridConfig(
         num_pops=args.pops,
@@ -819,6 +881,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compare-monolithic", action="store_true",
                    help="also run the monolithic SolverFarm for "
                    "speedup and gap numbers")
+    p.add_argument("--chaos-soak", action="store_true",
+                   help="run the partition-tolerant deployment against a "
+                        "seeded schedule of real link/partition/crash "
+                        "faults (coordinator failover, durable ledgers, "
+                        "degraded-mode regions)")
+    p.add_argument("--duration", type=float, default=40.0,
+                   help="simulated seconds of chaos-soak fault schedule")
     p.add_argument("--soak", type=int, default=0, metavar="OPS",
                    help="run the seeded fault-injection soak for OPS "
                    "operations instead of the timing comparison")

@@ -1,0 +1,669 @@
+"""The federated chaos soak: real faults against the deployed stack.
+
+``federation/soak.py`` injects faults by *scripted hook* (a policy
+object telling the sync coordinator to reject or crash); this module
+injects them into the *network*.  It deploys the full partition-tolerant
+federation onto one simulated network -- a primary + standby
+:class:`~repro.federation.nodes.CoordinatorNode` over the quorum store
+and leader lease (:class:`~repro.federation.ha.FederationFailover`),
+one :class:`~repro.federation.nodes.RegionalNode` per shard -- then
+plays a seeded :class:`~repro.chaos.scenario.Scenario` of link flaps,
+a coordinator<->region partition, a regional process restart, and a
+coordinator crash against it while the unified
+:func:`~repro.federation.invariants.federation_probes` registry runs on
+the :class:`~repro.chaos.invariants.InvariantChecker` cadence.
+
+Everything derives from one integer seed -- the PoP-grid workload, the
+submission times, the fault schedule, the RPC jitter, and the retry
+backoffs -- so ``run_federation_chaos(config)`` twice with the same
+config produces byte-identical :meth:`FederationChaosReport.to_json`
+output (asserted by the tests and the CI smoke step).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro.chaos.invariants import (
+    InvariantChecker,
+    LeaseMonitor,
+    Violation,
+    lease_safety,
+    link_conservation,
+    network_quiescence,
+)
+from repro.chaos.scenario import FaultEvent, Scenario
+from repro.controller.replication import ReplicatedStore
+from repro.core.model import Chain, NetworkModel
+from repro.federation.ha import FederationFailover, FederationStore
+from repro.federation.invariants import federation_probes
+from repro.federation.nodes import CoordinatorNode, RegionalNode
+from repro.obs import MetricsRegistry
+from repro.resilience.rpc import BackoffPolicy, RpcConfig, RpcLayer
+from repro.simnet.events import Simulator
+from repro.simnet.network import LinkSpec, SimNetwork
+from repro.topology.pops import PopGridConfig, generate_federation_workload
+
+#: Coordinator hosts, in failover priority order, on the core site.
+COORDINATOR_HOSTS = ("fed.primary", "fed.standby")
+
+
+@dataclass(frozen=True)
+class FederationChaosConfig:
+    """Knobs of one federated chaos run; everything derives from
+    ``seed``.
+
+    The workload is a generated clustered PoP grid
+    (:func:`~repro.topology.pops.generate_federation_workload`);
+    ``base_fraction`` of its chains are installed synchronously before
+    the clock starts (the standing population the faults disturb), the
+    rest arrive live at the regional nodes mid-run.  ``locality``
+    controls how many submissions are cross-shard.
+    """
+
+    seed: int = 1
+    duration_s: float = 40.0
+    pops: int = 18
+    regions: int = 3
+    chains: int = 36
+    locality: float = 0.6
+    base_fraction: float = 0.5
+    partition_size: int | None = 8
+    # Fault mix.
+    link_flaps: int = 2
+    flap_down_s: float = 3.0
+    partition: bool = True
+    partition_s: float = 8.0
+    coordinator_crash: bool = True
+    region_restart: bool = True
+    region_down_s: float = 2.0
+    # Control-plane timing.
+    lease_duration_s: float = 2.0
+    check_interval_s: float = 0.5
+    probe_interval_s: float = 1.0
+    install_deadline_s: float = 6.0
+
+
+@dataclass
+class FederationDeployment:
+    """Handles the engine, the probes, and the tests need."""
+
+    sim: Simulator
+    net: SimNetwork
+    registry: MetricsRegistry
+    model: NetworkModel
+    store: ReplicatedStore
+    monitor: LeaseMonitor
+    rpc: RpcLayer
+    fed_store: FederationStore
+    primary: CoordinatorNode
+    standby: CoordinatorNode
+    failover: FederationFailover
+    region_nodes: dict[int, RegionalNode]
+    base_chains: list[Chain] = field(default_factory=list)
+    live_chains: list[Chain] = field(default_factory=list)
+    base_installed: int = 0
+
+    @property
+    def coordinators(self) -> tuple[CoordinatorNode, CoordinatorNode]:
+        return (self.primary, self.standby)
+
+    def active_coordinator(self) -> CoordinatorNode | None:
+        """The acting coordinator, or ``None`` mid-failover."""
+        node = self.failover.active
+        if node.active and node.is_up():
+            return node
+        return None
+
+    def skip_regions(self) -> set[int]:
+        """Regions whose ground truth is legitimately stale: host down
+        or restarted-and-not-yet-resynced."""
+        return {
+            region
+            for region, node in self.region_nodes.items()
+            if not self.net.host_is_up(node.host) or node.needs_resync
+        }
+
+    def in_flight(self) -> set[str]:
+        flight: set[str] = set()
+        for node in self.coordinators:
+            flight |= node.in_flight()
+        return flight
+
+
+def build_federation_deployment(
+    config: FederationChaosConfig,
+) -> FederationDeployment:
+    """One seeded federated deployment with its base population
+    installed (sim clock still at zero)."""
+    model, _metro_of = generate_federation_workload(
+        PopGridConfig(
+            num_pops=config.pops,
+            num_metros=config.regions,
+            num_chains=config.chains,
+            locality=config.locality,
+            seed=config.seed,
+        )
+    )
+    chains = [model.chains[name] for name in sorted(model.chains)]
+    for chain in chains:
+        model.remove_chain(chain.name)
+
+    sim = Simulator()
+    registry = MetricsRegistry.for_simulator(sim)
+    net = SimNetwork(sim, metrics=registry)
+    net.set_fault_rng(random.Random(f"fed-loss-{config.seed}"))
+
+    for host in COORDINATOR_HOSTS:
+        net.add_host(host, site="core")
+    region_hosts = {r: f"region.{r}" for r in range(config.regions)}
+    for region, host in region_hosts.items():
+        net.add_host(host, site=f"region-{region}")
+    net.connect(*COORDINATOR_HOSTS, LinkSpec(delay_s=0.005))
+    for host in region_hosts.values():
+        for coord in COORDINATOR_HOSTS:
+            net.connect(coord, host, LinkSpec(delay_s=0.02))
+
+    # The quorum store's replicas live on the core site (the MUSIC
+    # deployment): coordinator<->region partitions never cost quorum.
+    store = ReplicatedStore([f"fedstore.{i}" for i in range(3)])
+    monitor = LeaseMonitor(store)
+    fed_store = FederationStore(store)
+    rpc = RpcLayer(net, RpcConfig(), metrics=registry, seed=config.seed)
+
+    primary = CoordinatorNode(
+        COORDINATOR_HOSTS[0],
+        COORDINATOR_HOSTS[0],
+        rpc,
+        fed_store,
+        model,
+        region_hosts,
+        n_regions=config.regions,
+        partition_size=config.partition_size,
+        metrics=registry,
+        retry_backoff=BackoffPolicy(seed=config.seed, name="fed-install"),
+        install_deadline_s=config.install_deadline_s,
+    )
+    standby = CoordinatorNode(
+        COORDINATOR_HOSTS[1],
+        COORDINATOR_HOSTS[1],
+        rpc,
+        fed_store,
+        model,
+        region_hosts,
+        shard_map=primary.shard_map,
+        regionals=primary.regionals,
+        partition_size=config.partition_size,
+        metrics=registry,
+        retry_backoff=BackoffPolicy(
+            seed=config.seed, name="fed-install-standby"
+        ),
+        install_deadline_s=config.install_deadline_s,
+    )
+    failover = FederationFailover(
+        {node.name: node for node in (primary, standby)},
+        store,
+        net,
+        monitor=monitor,
+        lease_duration_s=config.lease_duration_s,
+        check_interval_s=config.check_interval_s,
+        metrics=registry,
+    )
+
+    region_nodes = {
+        region: RegionalNode(
+            region,
+            host,
+            rpc,
+            primary.regionals[region],
+            model,
+            primary.shard_map,
+            list(COORDINATOR_HOSTS),
+            retry_until=config.duration_s,
+            seed=config.seed,
+            metrics=registry,
+        )
+        for region, host in region_hosts.items()
+    }
+
+    deployment = FederationDeployment(
+        sim=sim,
+        net=net,
+        registry=registry,
+        model=model,
+        store=store,
+        monitor=monitor,
+        rpc=rpc,
+        fed_store=fed_store,
+        primary=primary,
+        standby=standby,
+        failover=failover,
+        region_nodes=region_nodes,
+    )
+
+    # Base population: installed synchronously (in-process protocol)
+    # before the clock starts, durably checkpointed via the record
+    # hooks -- exactly the state a takeover must be able to rebuild.
+    split = max(1, int(len(chains) * config.base_fraction))
+    deployment.base_chains = chains[:split]
+    deployment.live_chains = chains[split:]
+    for chain in deployment.base_chains:
+        try:
+            primary.submit(chain)
+            deployment.base_installed += 1
+        except Exception:
+            continue  # infeasible under the border budget: skip
+    return deployment
+
+
+def generate_federation_scenario(
+    config: FederationChaosConfig,
+) -> Scenario:
+    """The seeded fault schedule for one run.
+
+    Link flaps hit coordinator<->region control links; the partition
+    isolates one region's host from everything else (its intra traffic
+    is unaffected -- the regional switchboard is local state); the
+    region restart crashes a regional host and restarts its control
+    process (volatile state loss); the coordinator crash kills the
+    active coordinator for good (only failover brings the role back).
+    Events never target the same chain twice by construction -- the
+    schedule is pure network/process faults, so the tombstone-on-
+    teardown semantics of removed chains is never in play.
+    """
+    rng = random.Random(f"fed-chaos-{config.seed}")
+    duration = config.duration_s
+    lo, hi = 0.1 * duration, 0.9 * duration
+    region_hosts = [f"region.{r}" for r in range(config.regions)]
+    pairs = [
+        (coord, host)
+        for coord in COORDINATOR_HOSTS
+        for host in region_hosts
+    ]
+    events: list[FaultEvent] = []
+
+    def window(length: float) -> tuple[float, float]:
+        start = rng.uniform(lo, max(lo, hi - length))
+        return start, min(start + length, hi)
+
+    for _ in range(config.link_flaps):
+        pair = rng.choice(pairs)
+        start, end = window(config.flap_down_s)
+        events.append(FaultEvent(start, "link_down", tuple(pair)))
+        events.append(FaultEvent(end, "link_up", tuple(pair)))
+
+    if config.partition:
+        isolated = rng.choice(region_hosts)
+        rest = tuple(
+            sorted(
+                h for h in (*COORDINATOR_HOSTS, *region_hosts)
+                if h != isolated
+            )
+        )
+        start, end = window(config.partition_s)
+        events.append(
+            FaultEvent(start, "partition", ((isolated,), rest))
+        )
+        events.append(FaultEvent(end, "heal_partition"))
+
+    if config.coordinator_crash:
+        at = rng.uniform(0.25 * duration, 0.45 * duration)
+        events.append(FaultEvent(at, "gs_crash", (COORDINATOR_HOSTS[0],)))
+
+    if config.region_restart:
+        host = rng.choice(region_hosts)
+        start, end = window(config.region_down_s)
+        events.append(FaultEvent(start, "crash_host", (host,)))
+        events.append(FaultEvent(end, "restart_host", (host,)))
+
+    return Scenario(seed=config.seed, duration_s=duration, events=events)
+
+
+class FederationChaosEngine:
+    """Maps scenario events onto the deployed federation's fault
+    primitives and heal-time reconciliation."""
+
+    def __init__(
+        self, deployment: FederationDeployment, config: FederationChaosConfig
+    ):
+        self.d = deployment
+        self.config = config
+        self.applied: list[tuple[float, str]] = []
+        self.coordinator_crashes = 0
+        self.region_restarts = 0
+        self.crash_at: float | None = None
+
+    def schedule(self, scenario: Scenario) -> None:
+        for event in scenario.events:
+            self.d.sim.schedule_at(event.at, self._apply, event)
+
+    def _apply(self, event: FaultEvent) -> None:
+        getattr(self, f"_on_{event.kind}")(event)
+        self.applied.append((round(self.d.sim.now, 9), event.kind))
+
+    def _on_link_down(self, event: FaultEvent) -> None:
+        self.d.net.fail_link(*event.target)
+
+    def _on_link_up(self, event: FaultEvent) -> None:
+        self.d.net.restore_link(*event.target)
+
+    def _on_partition(self, event: FaultEvent) -> None:
+        self.d.net.partition([list(group) for group in event.target])
+
+    def _on_heal_partition(self, event: FaultEvent) -> None:
+        self.d.net.heal_partition()
+        # Heal-time reconciliation: the acting coordinator re-syncs
+        # every region against the durable record (releasing orphaned
+        # prepares, settling unacked commits, collecting degraded-mode
+        # intra admissions); the reconcile replies kick the regions'
+        # cross-shard queues.
+        active = self.d.active_coordinator()
+        if active is not None:
+            active.reconcile_all()
+
+    def _on_gs_crash(self, event: FaultEvent) -> None:
+        self.coordinator_crashes += 1
+        self.crash_at = self.d.sim.now
+        self.d.failover.crash_active()
+
+    def _on_crash_host(self, event: FaultEvent) -> None:
+        self.d.net.crash_host(event.target[0])
+
+    def _on_restart_host(self, event: FaultEvent) -> None:
+        host = event.target[0]
+        self.d.net.restart_host(host)
+        for node in self.d.region_nodes.values():
+            if node.host == host:
+                self.region_restarts += 1
+                node.restart()
+
+
+def _start_live_workload(
+    d: FederationDeployment, config: FederationChaosConfig
+) -> None:
+    """Live submissions arrive at the ingress region's node in
+    [0.05, 0.55] x duration -- early enough that every install resolves
+    (or queues behind a fault and drains on heal) within the run."""
+    rng = random.Random(f"fed-live-{config.seed}")
+    lo, hi = 0.05 * config.duration_s, 0.55 * config.duration_s
+    for chain in d.live_chains:
+        region = d.primary.shard_map.region_of(d.model, chain.ingress)
+        d.sim.schedule_at(
+            rng.uniform(lo, hi), d.region_nodes[region].submit, chain
+        )
+
+
+@dataclass
+class FederationChaosReport:
+    """Outcome of one federated chaos run; deterministic per seed."""
+
+    seed: int
+    duration_s: float
+    scenario_digest: str
+    regions: int
+    event_counts: dict[str, int]
+    events_applied: list[tuple[float, str]]
+    violations: list[Violation]
+    base_installed: int
+    live_submitted: int
+    outcomes: dict[str, int]
+    installed_total: int
+    queued_peak: int
+    queued_final: int
+    degraded_admissions: int
+    coordinator_crashes: int
+    takeovers: int
+    recovery_s: float | None
+    aborted_recoveries: int
+    recovered_commits: int
+    reconciliations: int
+    region_restarts: int
+    probes_run: int
+    rpc_sent: int = 0
+    rpc_retries: int = 0
+    rpc_timeouts: int = 0
+    rpc_duplicates: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_doc(self) -> dict:
+        """Deterministic document: simulation-derived values only."""
+        return {
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "scenario_digest": self.scenario_digest,
+            "regions": self.regions,
+            "event_counts": self.event_counts,
+            "events_applied": [
+                {"at": at, "kind": kind} for at, kind in self.events_applied
+            ],
+            "violations": [
+                {"at": round(v.at, 9), "invariant": v.invariant,
+                 "detail": v.detail}
+                for v in self.violations
+            ],
+            "base_installed": self.base_installed,
+            "live_submitted": self.live_submitted,
+            "outcomes": self.outcomes,
+            "installed_total": self.installed_total,
+            "queued": {"peak": self.queued_peak, "final": self.queued_final},
+            "degraded_admissions": self.degraded_admissions,
+            "failover": {
+                "coordinator_crashes": self.coordinator_crashes,
+                "takeovers": self.takeovers,
+                "recovery_s": (
+                    round(self.recovery_s, 9)
+                    if self.recovery_s is not None
+                    else None
+                ),
+                "aborted_recoveries": self.aborted_recoveries,
+                "recovered_commits": self.recovered_commits,
+            },
+            "reconciliations": self.reconciliations,
+            "region_restarts": self.region_restarts,
+            "probes_run": self.probes_run,
+            "rpc": {
+                "sent": self.rpc_sent,
+                "retries": self.rpc_retries,
+                "timeouts": self.rpc_timeouts,
+                "duplicates": self.rpc_duplicates,
+            },
+            "passed": self.passed,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_doc(), separators=(",", ":"),
+                          sort_keys=True)
+
+    def render(self) -> str:
+        lines = [
+            f"federated chaos soak: seed={self.seed} "
+            f"duration={self.duration_s:g}s regions={self.regions}",
+            f"schedule digest: {self.scenario_digest[:16]}... "
+            f"({sum(self.event_counts.values())} events)",
+            "events: " + ", ".join(
+                f"{kind}={n}"
+                for kind, n in sorted(self.event_counts.items())
+            ),
+            f"workload: {self.base_installed} base installed, "
+            f"{self.live_submitted} live submitted -> outcomes "
+            + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.outcomes.items())
+            ),
+            f"cross-shard queue: peak {self.queued_peak}, "
+            f"final {self.queued_final}",
+            f"degraded-mode intra admissions: {self.degraded_admissions}",
+        ]
+        if self.coordinator_crashes:
+            recovery = (
+                f"{self.recovery_s:.3f}s"
+                if self.recovery_s is not None
+                else "n/a"
+            )
+            lines.append(
+                f"failover: {self.coordinator_crashes} crash(es), "
+                f"{self.takeovers} takeover(s), recovery {recovery}; "
+                f"WAL settle: {self.aborted_recoveries} aborted, "
+                f"{self.recovered_commits} re-driven"
+            )
+        lines.append(
+            f"reconciliations: {self.reconciliations}, "
+            f"region restarts: {self.region_restarts}"
+        )
+        lines.append(
+            f"rpc: {self.rpc_sent} sent / {self.rpc_retries} retries / "
+            f"{self.rpc_timeouts} timeouts / "
+            f"{self.rpc_duplicates} dups suppressed"
+        )
+        lines.append(f"invariant probes run: {self.probes_run}")
+        if self.passed:
+            lines.append("PASS: zero invariant violations")
+        else:
+            lines.append(f"FAIL: {len(self.violations)} violation(s)")
+            for violation in self.violations[:20]:
+                lines.append(f"  {violation}")
+        return "\n".join(lines)
+
+
+def run_federation_chaos(
+    config: FederationChaosConfig | None = None,
+    scenario: Scenario | None = None,
+) -> FederationChaosReport:
+    """Run one seeded federated chaos soak end to end.
+
+    Passing an explicit ``scenario`` replays that exact schedule;
+    otherwise it is generated from ``config.seed``.
+    """
+    config = config or FederationChaosConfig()
+    d = build_federation_deployment(config)
+    if scenario is None:
+        scenario = generate_federation_scenario(config)
+
+    engine = FederationChaosEngine(d, config)
+    engine.schedule(scenario)
+    d.failover.start(config.duration_s)
+    _start_live_workload(d, config)
+
+    checker = InvariantChecker(d.sim, interval_s=config.probe_interval_s)
+    checker.add("link_conservation", link_conservation(d.net))
+    checker.add("lease_safety", lease_safety(d.monitor))
+    probes = federation_probes(
+        d.active_coordinator,
+        in_flight=d.in_flight,
+        skip_regions=d.skip_regions,
+        nodes=d.coordinators,
+        net=d.net,
+        region_nodes=list(d.region_nodes.values()),
+    )
+    for name, probe in probes.items():
+        checker.add(name, probe)
+    checker.start(config.duration_s)
+
+    d.net.run(until=config.duration_s)
+    d.net.run()  # drain in-flight deliveries, retries, and deadlines
+
+    # Final settle: the acting coordinator reconciles once more (all
+    # faults healed except the crashed primary, which stays down) and
+    # the regions re-drive whatever is still queued; then drain again.
+    active = d.active_coordinator()
+    if active is not None:
+        active.reconcile_all()
+    for node in d.region_nodes.values():
+        if node.needs_resync:
+            node._request_resync()
+        for name in node.queued():
+            node._forward(name)
+    d.net.run()
+
+    # Final probes: everything, now also quiescence, drained queues,
+    # and no lingering network traffic.
+    final_probes = federation_probes(
+        d.active_coordinator,
+        in_flight=d.in_flight,
+        skip_regions=d.skip_regions,
+        quiescent=True,
+        nodes=d.coordinators,
+        net=d.net,
+        region_nodes=list(d.region_nodes.values()),
+        final=True,
+    )
+    for name, probe in final_probes.items():
+        for detail in probe():
+            checker.violations.append(
+                Violation(d.sim.now, f"final:{name}", detail)
+            )
+    for detail in network_quiescence(d.net)():
+        checker.violations.append(
+            Violation(d.sim.now, "network_quiescence", detail)
+        )
+
+    outcomes: dict[str, int] = {}
+    for node in d.region_nodes.values():
+        for outcome in node.outcomes.values():
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+    recovery_s = None
+    if engine.crash_at is not None:
+        after = [
+            t for t in d.failover.takeover_times if t >= engine.crash_at
+        ]
+        if after:
+            recovery_s = after[0] - engine.crash_at
+    active = d.active_coordinator()
+
+    return FederationChaosReport(
+        seed=config.seed,
+        duration_s=config.duration_s,
+        scenario_digest=scenario.digest(),
+        regions=config.regions,
+        event_counts=scenario.counts(),
+        events_applied=engine.applied,
+        violations=list(checker.violations),
+        base_installed=d.base_installed,
+        live_submitted=len(d.live_chains),
+        outcomes=dict(sorted(outcomes.items())),
+        installed_total=(
+            len(active.installed()) if active is not None else 0
+        ),
+        queued_peak=sum(
+            node.queued_peak for node in d.region_nodes.values()
+        ),
+        queued_final=sum(
+            len(node.queued()) for node in d.region_nodes.values()
+        ),
+        degraded_admissions=sum(
+            node.degraded_admissions for node in d.region_nodes.values()
+        ),
+        coordinator_crashes=engine.coordinator_crashes,
+        takeovers=d.failover.takeovers,
+        recovery_s=recovery_s,
+        aborted_recoveries=sum(
+            node.aborted_recoveries for node in d.coordinators
+        ),
+        recovered_commits=sum(
+            node.recovered_commits for node in d.coordinators
+        ),
+        reconciliations=sum(
+            node.reconciliations for node in d.coordinators
+        ),
+        region_restarts=engine.region_restarts,
+        probes_run=checker.probes_run,
+        rpc_sent=d.rpc.sent,
+        rpc_retries=d.rpc.retries,
+        rpc_timeouts=d.rpc.timeouts,
+        rpc_duplicates=d.rpc.duplicates_suppressed,
+    )
+
+
+__all__ = [
+    "FederationChaosConfig",
+    "FederationChaosEngine",
+    "FederationChaosReport",
+    "FederationDeployment",
+    "build_federation_deployment",
+    "generate_federation_scenario",
+    "run_federation_chaos",
+]

@@ -50,6 +50,7 @@ from repro.federation.regional import (
     trivial_segment,
 )
 from repro.federation.shard import BorderLink, FederationError, build_shards
+from repro.resilience.rpc import BackoffPolicy
 from repro.scale.farm import FarmResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -119,25 +120,54 @@ class GlobalCoordinator:
         max_attempts: int = 3,
         metrics: "MetricsRegistry | None" = None,
         fault_policy=None,
+        shard_map=None,
+        regionals: dict[int, RegionalSwitchboard] | None = None,
+        retry_backoff: "BackoffPolicy | None" = None,
     ):
         self.model = model
         self.metrics = metrics
         self.max_attempts = max_attempts
         self.fault_policy = fault_policy
-        self.shard_map = build_shards(model, n_regions)
-        self.regionals: dict[int, RegionalSwitchboard] = {}
-        for shard in self.shard_map.shards:
-            regional_model = self.shard_map.regional_model(model, shard.region)
-            self.regionals[shard.region] = RegionalSwitchboard(
-                region=shard.region,
-                model=regional_model,
-                owned_borders=[
-                    self.shard_map.borders[b] for b in shard.owned_borders
-                ],
-                partition_size=partition_size,
-                max_workers=max_workers,
-                metrics=metrics,
+        # A standby coordinator shares the primary's shard map and
+        # regional switchboards (the regions are the ground truth; only
+        # the coordinator's *memory* of installed chains is per-node and
+        # lost on a crash) -- pass both in to build a peer.
+        self.shard_map = (
+            shard_map if shard_map is not None else build_shards(
+                model, n_regions
             )
+        )
+        if regionals is not None:
+            self.regionals = regionals
+        else:
+            self.regionals = {}
+            for shard in self.shard_map.shards:
+                regional_model = self.shard_map.regional_model(
+                    model, shard.region
+                )
+                self.regionals[shard.region] = RegionalSwitchboard(
+                    region=shard.region,
+                    model=regional_model,
+                    owned_borders=[
+                        self.shard_map.borders[b]
+                        for b in shard.owned_borders
+                    ],
+                    partition_size=partition_size,
+                    max_workers=max_workers,
+                    metrics=metrics,
+                )
+        #: Install-retry pacing: one deterministic backoff implementation
+        #: shared with the RPC retransmit timer (resilience.rpc).  The
+        #: synchronous install path retries in-line; the deployed
+        #: CoordinatorNode paces its async retry rounds with this.
+        if retry_backoff is not None:
+            self.retry_backoff = retry_backoff
+        elif fault_policy is not None and getattr(
+            fault_policy, "retry_backoff", None
+        ) is not None:
+            self.retry_backoff = fault_policy.retry_backoff
+        else:
+            self.retry_backoff = BackoffPolicy(name="fed-install")
         #: Installed intra chains: name -> owning region.
         self._intra: dict[str, int] = {}
         #: Installed cross-shard chains: name -> record.
@@ -164,7 +194,7 @@ class GlobalCoordinator:
         region = self._classify(chain)
         if region is not None:
             self.regionals[region].admit(chain)
-            self._intra[name] = region
+            self._record_intra(name, region, chain)
             self._inc("federation.chains.intra")
             self._update_ratio()
             return region
@@ -201,7 +231,19 @@ class GlobalCoordinator:
             raise FederationError(f"chain {name!r} is not installed")
         if name in self.model.chains:
             self.model.remove_chain(name)
+        self._unrecord(name)
         self._update_ratio()
+
+    # -- durable-record hooks (overridden by the deployed node) ------------
+
+    def _record_intra(self, name: str, region: int, chain: Chain) -> None:
+        self._intra[name] = region
+
+    def _record_cross(self, record: CrossChainRecord) -> None:
+        self._cross[record.chain.name] = record
+
+    def _unrecord(self, name: str) -> None:
+        """Called after a chain is removed (checkpoint cleanup hook)."""
 
     def installed(self) -> list[str]:
         return sorted(set(self._intra) | set(self._cross))
@@ -566,7 +608,7 @@ class GlobalCoordinator:
                     self.regionals[seg.region].commit(seg.chain.name, attempt)
                 self._inc("federation.2pc.commits")
                 record = CrossChainRecord(chain, tuple(segments), attempt)
-                self._cross[chain.name] = record
+                self._record_cross(record)
                 return record
             for seg in prepared:
                 self.regionals[seg.region].abort(seg.chain.name, attempt)

@@ -21,16 +21,37 @@ operation; each returns a list of human-readable problem strings
   continuous (segment egress == border source, border destination ==
   next segment ingress, regions match) and conserve demand (each
   crossing reserves exactly the stage demand at the cut).
+- :func:`check_ledger_consistency` -- every border-ledger entry is
+  backed by a live segment with a matching reservation amount, and
+  vice versa (the durable-checkpoint/reconciliation analogue of
+  atomicity, at the ledger granularity).
+- :func:`check_single_active` -- at most one coordinator believes it
+  is active on a live host (lease safety at the federation layer).
+- :func:`check_no_lost_requests` -- every chain submitted to a
+  regional node is either still queued or has a recorded outcome;
+  nothing silently vanishes across partitions and failovers.
+
+:func:`federation_probes` packages all of them as the zero-argument
+probes the chaos :class:`~repro.chaos.invariants.InvariantChecker`
+(and ``federation/soak.py``) consume, with ``in_flight`` /
+``skip_regions`` exclusions so mid-2PC state and partitioned or
+restarting regions are not flagged as violations.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.federation.coordinator import FederatedPlan, GlobalCoordinator
+    from repro.simnet.network import SimNetwork
 
 _EPS = 1e-6
+
+
+def _origin_of(segment_key: str) -> str:
+    """Origin chain name of a segment key (``"c3@s1"`` -> ``"c3"``)."""
+    return segment_key.split("@", 1)[0]
 
 
 def check_capacity_safety(
@@ -48,16 +69,27 @@ def check_capacity_safety(
     return problems
 
 
-def check_atomicity(coordinator: "GlobalCoordinator") -> list[str]:
+def check_atomicity(
+    coordinator: "GlobalCoordinator",
+    in_flight: Iterable[str] = (),
+    skip_regions: Iterable[int] = (),
+) -> list[str]:
     problems: list[str] = []
+    in_flight = set(in_flight)
+    skip_regions = set(skip_regions)
     committed_by_region = {
         region: set(regional.committed_segments())
         for region, regional in coordinator.regionals.items()
+        if region not in skip_regions
     }
     seen: dict[int, set[str]] = {r: set() for r in committed_by_region}
     for name, record in coordinator._cross.items():
+        if name in in_flight:
+            continue
         for seg in record.segments:
             key = seg.chain.name
+            if seg.region not in committed_by_region:
+                continue  # partitioned/restarting region: unverifiable
             if key not in committed_by_region[seg.region]:
                 problems.append(
                     f"chain {name!r}: segment {key!r} not committed in "
@@ -67,6 +99,8 @@ def check_atomicity(coordinator: "GlobalCoordinator") -> list[str]:
                 seen[seg.region].add(key)
     for region, committed in committed_by_region.items():
         for key in sorted(committed - seen[region]):
+            if _origin_of(key) in in_flight:
+                continue
             problems.append(
                 f"region {region}: committed segment {key!r} belongs to no "
                 f"installed chain (orphan commit)"
@@ -74,19 +108,135 @@ def check_atomicity(coordinator: "GlobalCoordinator") -> list[str]:
     return problems
 
 
-def check_quiescence(coordinator: "GlobalCoordinator") -> list[str]:
+def check_quiescence(
+    coordinator: "GlobalCoordinator",
+    in_flight: Iterable[str] = (),
+    skip_regions: Iterable[int] = (),
+) -> list[str]:
     problems: list[str] = []
+    in_flight = set(in_flight)
+    skip_regions = set(skip_regions)
     for region, regional in sorted(coordinator.regionals.items()):
+        if region in skip_regions:
+            continue
         for key in regional.prepared_segments():
+            if _origin_of(key) in in_flight:
+                continue
             problems.append(
                 f"region {region}: prepared residue {key!r} at quiescence"
             )
         for name, ledger in sorted(regional.ledgers.items()):
             for key in sorted(ledger.prepared):
+                if _origin_of(key) in in_flight:
+                    continue
                 problems.append(
                     f"border {name!r}: prepared reservation {key!r} "
                     f"at quiescence"
                 )
+    return problems
+
+
+def check_ledger_consistency(
+    coordinator: "GlobalCoordinator",
+    in_flight: Iterable[str] = (),
+    skip_regions: Iterable[int] = (),
+) -> list[str]:
+    """Border ledgers match the segments they account for.
+
+    Every committed ledger entry is backed by a committed segment whose
+    ``border_demands`` names that ledger with the same amount, and
+    every committed segment's demand is present in the ledger; prepared
+    entries likewise back prepared segments.  This is the check that
+    catches reconciliation bugs: a ledger entry surviving its segment
+    (leak) or a segment whose reservation went missing (unsafe)."""
+    problems: list[str] = []
+    in_flight = set(in_flight)
+    skip_regions = set(skip_regions)
+    for region, regional in sorted(coordinator.regionals.items()):
+        if region in skip_regions:
+            continue
+        for kind, specs in (
+            ("committed", regional._committed),
+            ("prepared", regional._prepared),
+        ):
+            expected: dict[tuple[str, str], float] = {}
+            for key, seg in specs.items():
+                for link_name, amount in seg.border_demands:
+                    expected[(link_name, key)] = amount
+            actual: dict[tuple[str, str], float] = {}
+            for link_name, ledger in regional.ledgers.items():
+                entries = getattr(ledger, kind)
+                for key, amount in entries.items():
+                    actual[(link_name, key)] = amount
+            for (link_name, key), amount in sorted(expected.items()):
+                if _origin_of(key) in in_flight:
+                    continue
+                got = actual.pop((link_name, key), None)
+                if got is None:
+                    problems.append(
+                        f"region {region}: {kind} segment {key!r} has no "
+                        f"ledger entry on {link_name!r}"
+                    )
+                elif abs(got - amount) > _EPS:
+                    problems.append(
+                        f"region {region}: ledger {link_name!r} holds "
+                        f"{got:.6g} for {kind} {key!r}, segment says "
+                        f"{amount:.6g}"
+                    )
+            for (link_name, key) in sorted(actual):
+                if _origin_of(key) in in_flight:
+                    continue
+                problems.append(
+                    f"region {region}: ledger {link_name!r} {kind} entry "
+                    f"{key!r} backs no {kind} segment (leak)"
+                )
+    return problems
+
+
+def check_single_active(nodes: Iterable, net: "SimNetwork") -> list[str]:
+    """At most one coordinator is active on a live host."""
+    active = [
+        node.name
+        for node in nodes
+        if node.active and net.host_is_up(node.host)
+    ]
+    if len(active) > 1:
+        return [f"multiple active coordinators: {sorted(active)}"]
+    return []
+
+
+def check_no_lost_requests(
+    region_nodes: Iterable,
+    coordinator_of: "Callable[[], GlobalCoordinator | None] | None" = None,
+    final: bool = False,
+) -> list[str]:
+    """Every submitted chain is queued or has an outcome; at the end of
+    a run the queues are drained and installed outcomes are real."""
+    problems: list[str] = []
+    coordinator = coordinator_of() if coordinator_of is not None else None
+    installed = set(coordinator.installed()) if coordinator is not None else None
+    for node in region_nodes:
+        queued = set(node.queued())
+        for name in sorted(node.submitted):
+            if name not in queued and name not in node.outcomes:
+                problems.append(
+                    f"region node {node.region}: submitted chain {name!r} "
+                    f"neither queued nor resolved (lost request)"
+                )
+        if final:
+            for name in sorted(queued):
+                problems.append(
+                    f"region node {node.region}: chain {name!r} still "
+                    f"queued after drain"
+                )
+            if installed is not None:
+                for name, outcome in sorted(node.outcomes.items()):
+                    if outcome == "installed" and name not in installed:
+                        problems.append(
+                            f"region node {node.region}: chain {name!r} "
+                            f"reported installed but coordinator does not "
+                            f"carry it"
+                        )
     return problems
 
 
@@ -145,15 +295,104 @@ def check_all(
     problems = check_capacity_safety(coordinator, plan)
     problems += check_atomicity(coordinator)
     problems += check_stitching(coordinator)
+    problems += check_ledger_consistency(coordinator)
     if quiescent:
         problems += check_quiescence(coordinator)
     return problems
+
+
+def federation_probes(
+    coordinator_of: "Callable[[], GlobalCoordinator | None]",
+    *,
+    plan_of: "Callable[[], FederatedPlan | None] | None" = None,
+    in_flight: Callable[[], set[str]] | None = None,
+    skip_regions: Callable[[], set[int]] | None = None,
+    quiescent: bool = False,
+    nodes: Iterable | None = None,
+    net: "SimNetwork | None" = None,
+    region_nodes: Iterable | None = None,
+    final: bool = False,
+) -> dict[str, Callable[[], list[str]]]:
+    """The unified probe registry over the federated control plane.
+
+    Returns ``{name: probe}`` where each probe takes no arguments and
+    returns problem strings -- the contract of
+    :class:`repro.chaos.invariants.InvariantChecker` probes, so the
+    same registry plugs into the chaos soak runner, the federation
+    chaos engine, and the scripted ``federation/soak.py`` loop.
+
+    ``coordinator_of`` resolves the *active* coordinator at probe time
+    (``None`` during a failover window skips coordinator-side checks);
+    ``in_flight`` / ``skip_regions`` resolve the exclusion sets
+    (chains mid-2PC, regions partitioned from the coordinator or
+    awaiting resync) so legitimate transients are not violations.
+    """
+    def _flight() -> set[str]:
+        return in_flight() if in_flight is not None else set()
+
+    def _skips() -> set[int]:
+        return skip_regions() if skip_regions is not None else set()
+
+    def capacity() -> list[str]:
+        coordinator = coordinator_of()
+        if coordinator is None:
+            return []
+        plan = plan_of() if plan_of is not None else None
+        return check_capacity_safety(coordinator, plan)
+
+    def atomicity() -> list[str]:
+        coordinator = coordinator_of()
+        if coordinator is None:
+            return []
+        return check_atomicity(coordinator, _flight(), _skips())
+
+    def stitching() -> list[str]:
+        coordinator = coordinator_of()
+        if coordinator is None:
+            return []
+        return check_stitching(coordinator)
+
+    def ledgers() -> list[str]:
+        coordinator = coordinator_of()
+        if coordinator is None:
+            return []
+        return check_ledger_consistency(coordinator, _flight(), _skips())
+
+    probes: dict[str, Callable[[], list[str]]] = {
+        "fed_capacity_safety": capacity,
+        "fed_atomicity": atomicity,
+        "fed_stitching": stitching,
+        "fed_ledger_consistency": ledgers,
+    }
+    if quiescent:
+        def quiet() -> list[str]:
+            coordinator = coordinator_of()
+            if coordinator is None:
+                return []
+            return check_quiescence(coordinator, _flight(), _skips())
+
+        probes["fed_quiescence"] = quiet
+    if nodes is not None and net is not None:
+        node_list = list(nodes)
+        probes["fed_single_active"] = (
+            lambda: check_single_active(node_list, net)
+        )
+    if region_nodes is not None:
+        region_list = list(region_nodes)
+        probes["fed_no_lost_requests"] = lambda: check_no_lost_requests(
+            region_list, coordinator_of, final=final
+        )
+    return probes
 
 
 __all__ = [
     "check_all",
     "check_atomicity",
     "check_capacity_safety",
+    "check_ledger_consistency",
+    "check_no_lost_requests",
     "check_quiescence",
+    "check_single_active",
     "check_stitching",
+    "federation_probes",
 ]

@@ -216,8 +216,16 @@ class RegionalSwitchboard:
         self._epochs[key] = attempt
         if key in self._committed:
             return False
-        if key in self._prepared:
-            return True
+        held = self._prepared.get(key)
+        if held is not None:
+            if held == seg:
+                return True
+            # A *newer* round re-prepares with a different spec (e.g. a
+            # retry whose abort never reached us before the partition
+            # healed).  The fencing above guarantees the old round can
+            # never commit, so release its reservation and fall through
+            # to re-validate the new spec.
+            self._release_prepared(key)
         if not self._admissible(seg):
             return False
         taken: list[str] = []
@@ -253,6 +261,10 @@ class RegionalSwitchboard:
         """Roll back a prepared (uncommitted) segment."""
         if attempt < self._epochs.get(key, 0):
             return False
+        return self._release_prepared(key)
+
+    def _release_prepared(self, key: str) -> bool:
+        """Drop a prepared segment's reservation and model state."""
         seg = self._prepared.pop(key, None)
         if seg is None:
             return False
@@ -297,6 +309,73 @@ class RegionalSwitchboard:
             self._track_loads(seg.chain)
         self.generation += 1
         self._committed[key] = seg
+
+    # -- reconciliation surface (failover / restart recovery) --------------
+
+    def adopt_segment(self, seg: SegmentSpec, attempt: int) -> None:
+        """Authoritatively (re-)install a *committed* segment.
+
+        Used by the reconciliation protocol: the coordinator's durable
+        checkpoint says this segment is committed, so make the local
+        state match regardless of what this process remembers (it may
+        have restarted and lost everything, or hold a stale prepared
+        round).  Unconditional, unlike :meth:`prepare`/:meth:`commit` --
+        reconciliation is the authority, not a 2PC round."""
+        key = seg.chain.name
+        self._epochs[key] = max(self._epochs.get(key, 0), attempt)
+        self._release_prepared(key)
+        if key in self._committed:
+            held = self._committed[key]
+            if held == seg:
+                return
+            # Demand/spec drift: rebuild from the authoritative copy.
+            for ledger in self.ledgers.values():
+                ledger.teardown(key)
+            if key in self.model.chains:
+                self.model.remove_chain(key)
+            self._untrack_loads(key)
+            del self._committed[key]
+        for link_name, amount in seg.border_demands:
+            ledger = self.ledgers.get(link_name)
+            if ledger is None:
+                raise FederationError(
+                    f"region {self.region}: adopt of {key!r} names "
+                    f"unknown border {link_name!r}"
+                )
+            ledger.prepared.pop(key, None)
+            ledger.committed[key] = amount
+        if not trivial_segment(seg.chain) and key not in self.model.chains:
+            self.model.add_chain(seg.chain)
+            self._track_loads(seg.chain)
+        self._committed[key] = seg
+        self.generation += 1
+
+    def adopt_intra(self, chain: Chain) -> None:
+        """Re-admit an intra chain from a checkpoint (idempotent)."""
+        if chain.name in self._intra:
+            return
+        self.admit(chain)
+
+    def reset(self) -> None:
+        """Forget *everything* -- a regional process restart.
+
+        Ledger capacities survive (they are substrate facts) but every
+        reservation, admitted chain, and epoch is volatile state that a
+        restarted process no longer remembers.  The reconciliation
+        protocol rebuilds committed segments and intra chains from the
+        coordinator's durable checkpoints afterwards."""
+        for name in list(self.model.chains):
+            self.model.remove_chain(name)
+        self._prepared.clear()
+        self._committed.clear()
+        self._intra.clear()
+        self._epochs.clear()
+        self._vnf_admitted.clear()
+        self._chain_loads.clear()
+        for ledger in self.ledgers.values():
+            ledger.prepared.clear()
+            ledger.committed.clear()
+        self.generation += 1
 
     def sweep(self) -> list[str]:
         """Backstop GC: release every prepared-but-uncommitted segment.
@@ -368,6 +447,12 @@ class RegionalSwitchboard:
 
     def intra_chains(self) -> list[str]:
         return sorted(self._intra)
+
+    def epoch_of(self, key: str) -> int:
+        """Fencing epoch recorded for a segment key (0 if never seen).
+        Reconciliation uses it to leave state from rounds *newer* than
+        its snapshot alone."""
+        return self._epochs.get(key, 0)
 
     def _admissible(self, seg: SegmentSpec) -> bool:
         """Structural + aggregate-compute admission for a segment."""

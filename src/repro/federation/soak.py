@@ -24,13 +24,9 @@ from repro.federation.coordinator import (
     CoordinatorCrash,
     GlobalCoordinator,
 )
-from repro.federation.invariants import (
-    check_atomicity,
-    check_capacity_safety,
-    check_quiescence,
-    check_stitching,
-)
+from repro.federation.invariants import federation_probes
 from repro.federation.shard import FederationError
+from repro.resilience.rpc import BackoffPolicy
 
 
 @dataclass
@@ -43,6 +39,11 @@ class FaultPolicy:
     number of successful prepares (leaving fenced residue for
     :meth:`~repro.federation.GlobalCoordinator.sweep`).  Faults only
     fire on the first attempt of an install so retries can converge.
+
+    The policy also carries the ``retry_backoff``
+    :class:`~repro.resilience.rpc.BackoffPolicy` the coordinator paces
+    its install retries with, so scripted soaks and the RPC transport
+    share one seeded backoff implementation.
     """
 
     seed: int = 0
@@ -52,6 +53,7 @@ class FaultPolicy:
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
         self._crash_plan: dict[str, int] = {}
+        self.retry_backoff = BackoffPolicy(seed=self.seed, name="fed-install")
 
     def reject_prepare(self, chain: str, region: int, attempt_no: int) -> bool:
         if attempt_no > 0:
@@ -99,18 +101,24 @@ def run_soak(
     violations: list[dict] = []
     last_plan = None
 
+    # ``last_plan`` is only consulted while still current: a
+    # submit/remove invalidates its RoutingSolutions (they hold the
+    # regional models by reference), so mutation probes fall back to
+    # the ledger-only capacity check.
+    probes = federation_probes(
+        lambda: coordinator,
+        plan_of=lambda: last_plan,
+        quiescent=True,
+    )
+
     def probe(op: str, quiescent: bool) -> None:
-        # ``last_plan`` is only consulted while still current: a
-        # submit/remove invalidates its RoutingSolutions (they hold the
-        # regional models by reference), so mutation probes fall back to
-        # the ledger-only capacity check.
-        problems = check_capacity_safety(coordinator, last_plan)
-        problems += check_atomicity(coordinator)
-        problems += check_stitching(coordinator)
-        if quiescent:
-            problems += check_quiescence(coordinator)
-        for problem in problems:
-            violations.append({"op": op, "problem": problem})
+        for invariant, check in probes.items():
+            if invariant == "fed_quiescence" and not quiescent:
+                continue
+            for problem in check():
+                violations.append(
+                    {"op": op, "invariant": invariant, "problem": problem}
+                )
 
     for step in range(ops):
         roll = rng.random()

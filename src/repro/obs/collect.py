@@ -120,17 +120,27 @@ def collect_bench(
 
 
 def collect_federation(
-    registry: MetricsRegistry, coordinator: "GlobalCoordinator"
+    registry: MetricsRegistry,
+    coordinator: "GlobalCoordinator",
+    failover=None,
+    nodes=None,
 ) -> None:
     """Federated control-plane snapshot gauges.
 
-    Live ``federation.*`` counters (2PC phases, install counts, the
+    Live ``federation.*`` counters (2PC phases, install counts,
+    failovers, ledger reconciliations, degraded-mode admissions, the
     ``federation.region_solve_s`` histogram) accumulate on the
     coordinator's own registry when one is attached; this collector
     adds the point-in-time shape of the federation -- shard/border
     structure, installed-chain split, segment population, and border
     ledger occupancy -- so a report is complete even for a coordinator
     built without metrics.
+
+    ``failover`` (a :class:`~repro.federation.ha.FederationFailover`)
+    and ``nodes`` (the deployed
+    :class:`~repro.federation.nodes.RegionalNode` front ends) add the
+    resilience totals: takeovers, reconciliations, degraded-mode intra
+    admissions, and the per-region cross-shard queue depth.
     """
     stats = coordinator.stats()
     registry.gauge("federation.regions").set(stats["regions"])
@@ -155,6 +165,29 @@ def collect_federation(
     ):
         registry.gauge("federation.border_utilization", border=name).set(
             utilization
+        )
+    if failover is not None:
+        registry.gauge("federation.failovers_total").set(failover.takeovers)
+    reconciliations = getattr(coordinator, "reconciliations", None)
+    if reconciliations is not None:
+        registry.gauge("federation.ledger_reconciliations_total").set(
+            reconciliations
+        )
+    if nodes is not None:
+        total_queued = 0
+        total_degraded = 0
+        for node in nodes:
+            queued = len(node.queued())
+            total_queued += queued
+            total_degraded += node.degraded_admissions
+            registry.gauge(
+                "federation.queued_cross_shard", region=node.region
+            ).set(queued)
+        registry.gauge("federation.queued_cross_shard_total").set(
+            total_queued
+        )
+        registry.gauge("federation.degraded_admissions_total").set(
+            total_degraded
         )
 
 

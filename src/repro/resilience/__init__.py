@@ -27,10 +27,18 @@ chaos soak with control faults replays byte-identically from one seed.
 
 from repro.resilience.deadline import DeadlineManager, ResilienceConfig
 from repro.resilience.failover import FailoverManager
-from repro.resilience.rpc import RpcConfig, RpcEndpoint, RpcError, RpcLayer
+from repro.resilience.rpc import (
+    BackoffPolicy,
+    RpcConfig,
+    RpcEndpoint,
+    RpcError,
+    RpcLayer,
+    backoff_delay,
+)
 from repro.resilience.sweeper import ReconciliationSweeper
 
 __all__ = [
+    "BackoffPolicy",
     "DeadlineManager",
     "FailoverManager",
     "ReconciliationSweeper",
@@ -39,4 +47,5 @@ __all__ = [
     "RpcEndpoint",
     "RpcError",
     "RpcLayer",
+    "backoff_delay",
 ]

@@ -43,6 +43,59 @@ class RpcError(Exception):
     """Raised on invalid RPC-layer configuration or use."""
 
 
+def backoff_delay(
+    base_s: float,
+    backoff: float,
+    jitter: float,
+    attempt: int,
+    rng: random.Random,
+) -> float:
+    """The one exponential-backoff-with-jitter formula of the stack.
+
+    ``base_s * backoff**attempt`` scaled by ``1 + jitter * U[0, 1)``.
+    Both the RPC retransmit timer and the federation coordinator's
+    install retries go through here, so every retry loop in the system
+    de-synchronizes the same way and replays byte-identically from its
+    seed (the caller owns the rng and its consumption order).
+    """
+    delay = base_s * (backoff ** attempt)
+    return delay * (1.0 + jitter * rng.random())
+
+
+class BackoffPolicy:
+    """A seeded retry-pacing policy around :func:`backoff_delay`.
+
+    Owns its own ``random.Random(f"{name}-{seed}")`` so independent
+    retry loops (install retries, queue re-drives) draw from disjoint
+    deterministic streams and never perturb the RPC layer's jitter.
+    """
+
+    def __init__(
+        self,
+        base_s: float = 0.25,
+        backoff: float = 2.0,
+        jitter: float = 0.25,
+        seed: int = 0,
+        name: str = "backoff",
+    ):
+        if base_s <= 0:
+            raise RpcError(f"non-positive backoff base {base_s}")
+        if backoff < 1.0:
+            raise RpcError(f"backoff must be >= 1, got {backoff}")
+        if jitter < 0:
+            raise RpcError(f"negative jitter {jitter}")
+        self.base_s = base_s
+        self.backoff = backoff
+        self.jitter = jitter
+        self._rng = random.Random(f"{name}-{seed}")
+
+    def delay(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (0-based)."""
+        return backoff_delay(
+            self.base_s, self.backoff, self.jitter, attempt, self._rng
+        )
+
+
 @dataclass(frozen=True)
 class RpcConfig:
     """Retry/timeout knobs of the reliable control channel.
@@ -215,8 +268,10 @@ class RpcEndpoint:
             cfg.message_bytes,
             strict=False,
         )
-        delay = cfg.timeout_s * (cfg.backoff ** pending.attempt)
-        delay *= 1.0 + cfg.jitter * self.layer._rng.random()
+        delay = backoff_delay(
+            cfg.timeout_s, cfg.backoff, cfg.jitter,
+            pending.attempt, self.layer._rng,
+        )
         pending.timer = self.layer.sim.schedule(delay, self._timeout, pending)
 
     def _timeout(self, pending: _PendingSend) -> None:
