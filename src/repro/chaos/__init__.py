@@ -44,6 +44,7 @@ from repro.chaos.scenario import (
     ScenarioConfig,
     ScenarioError,
     generate_scenario,
+    merge_scenarios,
 )
 
 __all__ = [
@@ -66,6 +67,7 @@ __all__ = [
     "generate_scenario",
     "lease_safety",
     "link_conservation",
+    "merge_scenarios",
     "network_quiescence",
     "no_orphaned_reservations",
     "run_soak",

@@ -483,6 +483,10 @@ class SoakReport:
     gs_crashes: int = 0
     failover_takeovers: int = 0
     stale_reservations_swept: int = 0
+    # Workload-schedule mode (empty/absent activity otherwise).
+    workload_digest: str = ""
+    workload_counts: dict[str, int] = field(default_factory=dict)
+    workload_ops_applied: int = 0
 
     @property
     def passed(self) -> bool:
@@ -531,6 +535,11 @@ class SoakReport:
                 "gs_crashes": self.gs_crashes,
                 "failover_takeovers": self.failover_takeovers,
                 "stale_reservations_swept": self.stale_reservations_swept,
+            },
+            "workload": {
+                "digest": self.workload_digest,
+                "counts": self.workload_counts,
+                "ops_applied": self.workload_ops_applied,
             },
             "passed": self.passed,
         }
@@ -586,6 +595,15 @@ class SoakReport:
                 f"{self.failover_takeovers} takeover(s), "
                 f"{self.stale_reservations_swept} stale reservation(s) swept"
             )
+        if self.workload_digest:
+            lines.append(
+                f"workload: digest {self.workload_digest[:16]}..., "
+                f"{self.workload_ops_applied} op(s) applied, " + ", ".join(
+                    f"{k}={v}" for k, v in sorted(
+                        self.workload_counts.items()
+                    ) if v
+                )
+            )
         lines.append(f"invariant probes run: {self.probes_run}")
         if self.passed:
             lines.append("PASS: zero invariant violations")
@@ -607,6 +625,8 @@ def run_soak(
     config: SoakConfig | None = None,
     scenario: Scenario | None = None,
     extra_probes: "dict[str, Callable[[], Iterable[str]]] | None" = None,
+    workload=None,
+    workload_probes=None,
 ) -> SoakReport:
     """Run one seeded chaos soak end to end.
 
@@ -620,10 +640,27 @@ def run_soak(
     :func:`repro.federation.invariants.federation_probes` registry when
     a federated coordinator is deployed alongside, so subsystem soaks
     do not grow private probe loops.
+
+    ``workload`` plays a :class:`repro.scenarios.WorkloadSchedule` of
+    chain creates/removes/demand changes against the deployment on the
+    same simulated clock, composing with the fault schedule -- this is
+    the scenario-fuzzer entry point.  ``workload_probes`` (a callable
+    taking the live :class:`repro.scenarios.apply.WorkloadEngine` and
+    returning a probe dict) registers workload-aware invariants; the
+    fuzz self-tests use it to plant a provably-detectable violation.
     """
     config = config or SoakConfig()
     d = build_deployment(config)
     carried_before = _mean_carried(d.gs)
+
+    workload_engine = None
+    if workload is not None:
+        # Local import: repro.scenarios builds on repro.chaos, so the
+        # runner may only reach back at call time.
+        from repro.scenarios.apply import WorkloadEngine
+
+        workload_engine = WorkloadEngine(d)
+        workload_engine.schedule(workload)
 
     if scenario is None:
         wan_pairs = []
@@ -669,6 +706,9 @@ def run_soak(
     checker.add("lease_safety", lease_safety(d.monitor))
     if extra_probes:
         for name, probe in extra_probes.items():
+            checker.add(name, probe)
+    if workload_probes is not None and workload_engine is not None:
+        for name, probe in workload_probes(workload_engine).items():
             checker.add(name, probe)
     checker.start(config.duration_s)
 
@@ -745,5 +785,12 @@ def run_soak(
         failover_takeovers=d.failover.takeovers if d.failover else 0,
         stale_reservations_swept=(
             d.sweeper.stale_reservations_released if d.sweeper else 0
+        ),
+        workload_digest=workload.digest() if workload is not None else "",
+        workload_counts=(
+            dict(workload_engine.counts) if workload_engine else {}
+        ),
+        workload_ops_applied=(
+            len(workload_engine.applied) if workload_engine else 0
         ),
     )

@@ -77,6 +77,19 @@ class FaultEvent:
             "value": self.value,
         }
 
+    @classmethod
+    def from_doc(cls, doc: dict) -> "FaultEvent":
+        """Inverse of :meth:`to_doc` (replay from a saved report)."""
+        return cls(
+            at=doc["at"],
+            kind=doc["kind"],
+            target=tuple(
+                tuple(t) if isinstance(t, list) else t
+                for t in doc["target"]
+            ),
+            value=doc["value"],
+        )
+
 
 @dataclass
 class Scenario:
@@ -101,6 +114,19 @@ class Scenario:
             sort_keys=True,
         )
 
+    @classmethod
+    def from_doc(cls, doc: dict) -> "Scenario":
+        return cls(
+            seed=doc["seed"],
+            duration_s=doc["duration_s"],
+            events=[FaultEvent.from_doc(e) for e in doc["events"]],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        """Inverse of :meth:`to_json`: byte-identical round trips."""
+        return cls.from_doc(json.loads(text))
+
     def digest(self) -> str:
         """Stable content hash of the schedule (hex SHA-256)."""
         return hashlib.sha256(self.to_json().encode()).hexdigest()
@@ -110,6 +136,27 @@ class Scenario:
         for event in self.events:
             out[event.kind] = out.get(event.kind, 0) + 1
         return out
+
+
+def merge_scenarios(*scenarios: Scenario) -> Scenario:
+    """Compose several fault schedules onto one timeline.
+
+    The union of all events under the first scenario's seed, running to
+    the longest horizon.  This is how the fuzzer stacks e.g. a
+    link-flap schedule on top of a partition schedule: each half stays
+    individually reproducible from its own seed, and the merged
+    schedule is deterministic because the inputs are.
+    """
+    if not scenarios:
+        raise ScenarioError("nothing to merge")
+    events: list[FaultEvent] = []
+    for scenario in scenarios:
+        events.extend(scenario.events)
+    return Scenario(
+        seed=scenarios[0].seed,
+        duration_s=max(s.duration_s for s in scenarios),
+        events=events,
+    )
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,8 @@ Usage::
     python -m repro metrics [--publishes N] [--rate HZ] [--json]
     python -m repro scale [--chains N] [--partition-size K] [--workers W]
     python -m repro federation [--pops N] [--chains N] [--regions K] [--soak OPS]
-    python -m repro chaos [--seed N] [--duration S] [--json] [--out FILE]
+    python -m repro chaos [--seed N] [--duration S] [--json] [--out [FILE]]
+    python -m repro fuzz [--seed N] [--cases N] [--budget S] [--plant] [--out [FILE]]
     python -m repro bench [--suites A,B] [--compare] [--update-baselines] [--out DIR]
 """
 
@@ -20,6 +21,20 @@ import argparse
 import os
 import sys
 import time
+
+
+def _default_out(out: "str | None", command: str, seed: int) -> "str | None":
+    """Resolve a bare ``--out`` to a seed-derived filename.
+
+    ``--out`` without a value used to be impossible; commands that
+    hardcoded a name collided when two seeds ran in one directory
+    (the second report overwrote the first).  A bare ``--out`` now
+    yields ``<command>-report-seed<seed>.json``, unique per
+    (command, seed) pair; an explicit path is used verbatim.
+    """
+    if out == "auto":
+        return f"{command}-report-seed{seed}.json"
+    return out
 
 
 def _cmd_topology(args: argparse.Namespace) -> int:
@@ -464,6 +479,7 @@ def _cmd_federation(args: argparse.Namespace) -> int:
     from repro.obs import MetricsRegistry, collect_federation, registry_to_dict
     from repro.topology.pops import PopGridConfig, generate_federation_workload
 
+    args.out = _default_out(args.out, "federation", args.seed)
     if args.chaos_soak:
         from repro.federation import FederationChaosConfig, run_federation_chaos
 
@@ -673,6 +689,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     """
     from repro.chaos import SoakConfig, run_soak
 
+    args.out = _default_out(args.out, "chaos", args.seed)
     config = SoakConfig(
         seed=args.seed,
         duration_s=args.duration,
@@ -687,6 +704,122 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report.to_json() + "\n")
+    return 0 if report.passed else 1
+
+
+#: Library scenario kinds, duplicated here so building the parser does
+#: not import the (heavy) scenarios package; test_cli pins this tuple
+#: against ``repro.scenarios.SCENARIO_KINDS``.
+FUZZ_SCENARIO_KINDS = (
+    "adversarial_matrix",
+    "diurnal_wave",
+    "evacuation_cascade",
+    "flash_crowd",
+    "site_churn",
+    "zipf_mix",
+)
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Seeded scenario fuzzer: compose random workload + fault
+    schedules, play them against the monolithic and federated stacks
+    with invariant probes, and delta-debug any violation to a minimal
+    replayable repro.
+
+    Exit codes: 0 all green, 1 violations found (or a ``--plant``
+    self-test failing to find/minimize its planted violation), 2
+    ``--known-good`` digest mismatch.
+    """
+    import json
+
+    from repro.scenarios import FuzzConfig, generate, replay_case, run_fuzz
+
+    args.out = _default_out(args.out, "fuzz", args.seed)
+
+    if args.scenario:
+        schedule = generate(args.scenario, args.seed,
+                            duration_s=args.duration)
+        if args.json:
+            print(schedule.to_json())
+        else:
+            counts = ", ".join(
+                f"{k}={v}" for k, v in sorted(schedule.counts().items()) if v
+            )
+            print(
+                f"{schedule.kind}: seed={schedule.seed} "
+                f"duration={schedule.duration_s:g}s "
+                f"ops={len(schedule.ops)} ({counts})"
+            )
+            print(f"digest {schedule.digest()}")
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(schedule.to_json() + "\n")
+        return 0
+
+    if args.replay:
+        with open(args.replay) as handle:
+            doc = json.load(handle)
+        if "composed" in doc and "params" in doc:
+            case_doc = doc  # a saved case / minimized repro
+        elif isinstance(doc.get("schedule"), dict) and (
+            "composed" in doc["schedule"]
+        ):
+            case_doc = doc["schedule"]  # a case result / minimized block
+        elif doc.get("cases"):
+            case_doc = doc["cases"][0]["schedule"]  # a whole fuzz report
+        else:
+            print("fuzz: unrecognized replay document", file=sys.stderr)
+            return 2
+        result = replay_case(case_doc)
+        print(
+            f"replay case {result.index}: {'+'.join(result.kinds)} "
+            f"digest {result.schedule_digest[:16]}..."
+        )
+        for stack in result.stacks:
+            status = "PASS" if stack.passed else (
+                f"FAIL ({len(stack.violations)} violation(s))"
+            )
+            print(f"  {stack.stack}: {status}")
+        return 0 if result.passed else 1
+
+    stacks = (
+        ("mono", "federation") if args.stack == "both" else (args.stack,)
+    )
+    config = FuzzConfig(
+        seed=args.seed,
+        cases=args.cases,
+        budget_s=args.budget,
+        duration_s=args.duration,
+        stacks=stacks,
+        minimize=not args.no_minimize,
+        plant=args.plant,
+    )
+    report = run_fuzz(config)
+    print(report.to_json() if args.json else report.render())
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json() + "\n")
+    if args.write_known_good:
+        with open(args.write_known_good, "w") as handle:
+            json.dump(report.known_good_doc(), handle, indent=1,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"known-good written: {args.write_known_good}")
+    if args.known_good:
+        with open(args.known_good) as handle:
+            expected = json.load(handle)
+        actual = report.known_good_doc()
+        if expected != actual:
+            print("known-good MISMATCH:", file=sys.stderr)
+            for key in sorted(set(expected) | set(actual)):
+                if expected.get(key) != actual.get(key):
+                    print(
+                        f"  {key}: expected {expected.get(key)!r} "
+                        f"got {actual.get(key)!r}",
+                        file=sys.stderr,
+                    )
+            return 2
+        print("known-good: match")
     return 0 if report.passed else 1
 
 
@@ -896,7 +1029,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--crash-rate", type=float, default=0.1,
                    help="soak: coordinator mid-install crash probability")
     p.add_argument("--json", action="store_true")
-    p.add_argument("--out", help="also write the JSON report to a file")
+    p.add_argument("--out", nargs="?", const="auto",
+                   help="also write the JSON report to a file (bare --out "
+                   "derives federation-report-seed<seed>.json)")
     p.set_defaults(func=_cmd_federation)
 
     p = sub.add_parser(
@@ -914,8 +1049,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-link control-message loss probability "
                    "during control_loss windows (default 0.2)")
     p.add_argument("--json", action="store_true")
-    p.add_argument("--out", help="also write the JSON report to a file")
+    p.add_argument("--out", nargs="?", const="auto",
+                   help="also write the JSON report to a file (bare --out "
+                   "derives chaos-report-seed<seed>.json)")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="seeded scenario fuzzer with schedule minimization",
+    )
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--cases", type=int, default=3,
+                   help="composed cases to run (each derives from "
+                   "--seed and its index)")
+    p.add_argument("--budget", type=float, default=None, metavar="S",
+                   help="wall-clock budget in seconds; no new case "
+                   "starts once spent (nightly mode)")
+    p.add_argument("--duration", type=float, default=16.0,
+                   help="simulated seconds per composed schedule")
+    p.add_argument("--stack", choices=("mono", "federation", "both"),
+                   default="both")
+    p.add_argument("--scenario", choices=FUZZ_SCENARIO_KINDS,
+                   help="print one library scenario schedule and exit")
+    p.add_argument("--replay", metavar="FILE",
+                   help="replay a saved case / minimized repro / report "
+                   "instead of fuzzing")
+    p.add_argument("--plant", action="store_true",
+                   help="self-test: plant a violation the probes must "
+                   "catch and the minimizer must isolate")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="skip delta-debugging violating schedules")
+    p.add_argument("--known-good", metavar="FILE",
+                   help="compare the run's digests against a committed "
+                   "known-good file; exit 2 on mismatch")
+    p.add_argument("--write-known-good", metavar="FILE",
+                   help="write this run's digest skeleton for the "
+                   "replay gate")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--out", nargs="?", const="auto",
+                   help="also write the JSON report to a file (bare "
+                   "--out derives fuzz-report-seed<seed>.json)")
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser(
         "bench",

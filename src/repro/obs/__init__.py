@@ -20,6 +20,7 @@ from repro.obs.collect import (
     collect_bus,
     collect_dataplane,
     collect_federation,
+    collect_fuzz,
     collect_network,
     collect_resilience,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "collect_bus",
     "collect_dataplane",
     "collect_federation",
+    "collect_fuzz",
     "collect_network",
     "collect_resilience",
     "registry_to_dict",

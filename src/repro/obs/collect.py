@@ -210,3 +210,43 @@ def collect_dataplane(registry: MetricsRegistry, dataplane: "DataPlane") -> None
         registry.gauge("flowtable.evictions_total", forwarder=name).set(
             table.evictions
         )
+
+
+def collect_fuzz(registry: MetricsRegistry, report: Any) -> None:
+    """Campaign-level gauges from a :class:`repro.scenarios.FuzzReport`.
+
+    Per-case outcomes become labelled gauges so a metrics scrape of a
+    nightly fuzz lane can alert on violations without parsing the
+    report JSON.
+    """
+    registry.gauge("fuzz.seed").set(report.seed)
+    registry.gauge("fuzz.cases_planned").set(report.cases_planned)
+    registry.gauge("fuzz.cases_run").set(report.cases_run)
+    registry.gauge("fuzz.budget_exhausted").set(
+        1 if report.budget_exhausted else 0
+    )
+    registry.gauge("fuzz.passed").set(1 if report.passed else 0)
+    total_violations = 0
+    minimized = 0
+    for case in report.cases:
+        for stack in case.stacks:
+            total_violations += len(stack.violations)
+            registry.gauge(
+                "fuzz.case_violations", case=case.index, stack=stack.stack
+            ).set(len(stack.violations))
+        registry.gauge("fuzz.case_workload_ops", case=case.index).set(
+            case.workload_ops
+        )
+        registry.gauge("fuzz.case_fault_events", case=case.index).set(
+            case.fault_events
+        )
+        if case.minimized is not None:
+            minimized += 1
+            registry.gauge("fuzz.case_minimized_items", case=case.index).set(
+                case.minimized["items"]
+            )
+            registry.gauge(
+                "fuzz.case_minimize_replays", case=case.index
+            ).set(case.minimized["tests_run"])
+    registry.gauge("fuzz.violations_total").set(total_violations)
+    registry.gauge("fuzz.cases_minimized_total").set(minimized)

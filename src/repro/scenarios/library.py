@@ -1,0 +1,407 @@
+"""The workload-scenario library: seeded generators for the ROADMAP's
+scenario-diversity mix.
+
+Each generator is a pure function ``(seed, ctx, config) ->``
+:class:`~repro.scenarios.schedule.WorkloadSchedule`: every random draw
+comes from ``random.Random`` seeded on ``(kind, seed)``, so one integer
+seed reproduces the schedule byte-identically (asserted by the scenario
+tests and surfaced as the schedule digest in fuzz reports).
+
+The six kinds, generalizing the hand-picked workloads the benches
+already drive:
+
+- **diurnal_wave** -- per-site phase-offset demand waves (the
+  ``ext_diurnal_reoptimization`` bench generalized to any deployment):
+  periodic ``redemand`` ops walk every base chain through a day curve,
+  with each logical site in its own timezone phase.
+- **flash_crowd** -- a sudden crowd on one hot site: a burst of
+  short-lived high-demand chains ramps up within seconds, holds, then
+  drains.
+- **evacuation_cascade** -- a regional evacuation: every chain homed at
+  the evacuated site is torn down and re-created elsewhere, site after
+  site, the wave overlapping with the next site's drain.
+- **site_churn** -- mobile-CPE churn: a steady arrival process of
+  short-lived, low-demand chains at random sites, each with its own
+  departure.
+- **zipf_mix** -- multi-tenant Zipf mix: tenants hold Zipf-distributed
+  shares of chains and demand, arriving throughout the run with a tail
+  of removals, so a few heavy tenants dominate while many small ones
+  churn.
+- **adversarial_matrix** -- worst-case matrix: every create targets the
+  same site pair with maximal chain length and capacity-edge demands,
+  and every base chain surges at once -- built to sit on admission and
+  capacity boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.scenarios.schedule import (
+    ScheduleError,
+    WorkloadOp,
+    WorkloadSchedule,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadContext:
+    """What a generator may assume about the target deployment.
+
+    Matches the chaos soak defaults (:mod:`repro.chaos.runner`): sites
+    are addressed as logical indices ``0 .. num_sites-1``, the
+    pre-installed population is ``chain0 .. chain<num_base_chains-1>``
+    with ``base_demand`` forward units each, and created chains may use
+    up to ``max_stages`` VNFs.
+    """
+
+    num_sites: int = 4
+    num_base_chains: int = 8
+    base_demand: float = 3.0
+    max_stages: int = 2
+
+    def base_chain(self, i: int) -> str:
+        return f"chain{i % max(1, self.num_base_chains)}"
+
+
+def _rng(kind: str, seed: int) -> random.Random:
+    return random.Random(f"scenario-{kind}-{seed}")
+
+
+def _pick_pair(rng: random.Random, ctx: WorkloadContext) -> tuple[int, int]:
+    ingress = rng.randrange(ctx.num_sites)
+    egress = rng.randrange(ctx.num_sites - 1)
+    if egress >= ingress:
+        egress += 1
+    return ingress, egress
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DiurnalConfig:
+    duration_s: float = 24.0
+    epochs: int = 6
+    amplitude: float = 0.5          # peak-to-mean demand swing
+    min_factor: float = 0.25        # relative-step clamp
+
+
+def diurnal_wave(
+    seed: int, ctx: WorkloadContext, config: DiurnalConfig | None = None
+) -> WorkloadSchedule:
+    """Multi-region diurnal demand waves over the base population.
+
+    Each base chain follows a sinusoidal day curve whose phase is set by
+    its home site (``i % num_sites``), so peaks roll around the regions
+    the way evening traffic rolls around timezones.  Ops carry
+    *relative* factors (new demand / current demand), matching
+    :func:`repro.controller.reoptimize.reoptimize` semantics.
+    """
+    config = config or DiurnalConfig()
+    rng = _rng("diurnal_wave", seed)
+    ops: list[WorkloadOp] = []
+    jitter = [rng.uniform(-0.05, 0.05) for _ in range(ctx.num_base_chains)]
+    current = [1.0] * ctx.num_base_chains
+    for epoch in range(1, config.epochs + 1):
+        at = config.duration_s * epoch / (config.epochs + 1)
+        day_angle = 2 * math.pi * epoch / (config.epochs + 1)
+        for i in range(ctx.num_base_chains):
+            phase = 2 * math.pi * (i % ctx.num_sites) / ctx.num_sites
+            target = 1.0 + config.amplitude * math.sin(
+                day_angle + phase
+            ) + jitter[i]
+            target = max(config.min_factor, target)
+            step = target / current[i]
+            if abs(step - 1.0) < 1e-3:
+                continue
+            current[i] = target
+            ops.append(
+                WorkloadOp(
+                    at=at, op="redemand", chain=ctx.base_chain(i),
+                    value=round(step, 6),
+                )
+            )
+    return WorkloadSchedule(
+        kind="diurnal_wave", seed=seed, duration_s=config.duration_s, ops=ops
+    )
+
+
+@dataclass(frozen=True)
+class FlashCrowdConfig:
+    duration_s: float = 24.0
+    crowd_chains: int = 6
+    ramp_s: float = 2.0
+    hold_s: float = 6.0
+    demand_factor: float = 1.5      # per-crowd-chain demand vs base
+
+
+def flash_crowd(
+    seed: int, ctx: WorkloadContext, config: FlashCrowdConfig | None = None
+) -> WorkloadSchedule:
+    """A flash crowd converging on one hot site, then draining."""
+    config = config or FlashCrowdConfig()
+    rng = _rng("flash_crowd", seed)
+    hot = rng.randrange(ctx.num_sites)
+    start = rng.uniform(0.2, 0.5) * config.duration_s
+    ops: list[WorkloadOp] = []
+    for i in range(config.crowd_chains):
+        ingress = rng.randrange(ctx.num_sites - 1)
+        if ingress >= hot:
+            ingress += 1
+        born = start + config.ramp_s * i / max(1, config.crowd_chains)
+        died = min(
+            born + config.hold_s + rng.uniform(0.0, config.ramp_s),
+            0.95 * config.duration_s,
+        )
+        name = f"wl-flash-{i}"
+        demand = round(config.demand_factor * ctx.base_demand, 6)
+        ops.append(
+            WorkloadOp(
+                at=born, op="create", chain=name,
+                ingress=ingress, egress=hot,
+                stages=1 + rng.randrange(ctx.max_stages),
+                value=demand,
+            )
+        )
+        ops.append(WorkloadOp(at=died, op="remove", chain=name))
+    return WorkloadSchedule(
+        kind="flash_crowd", seed=seed, duration_s=config.duration_s, ops=ops
+    )
+
+
+@dataclass(frozen=True)
+class EvacuationConfig:
+    duration_s: float = 24.0
+    sites_evacuated: int = 2
+    wave_s: float = 4.0
+
+
+def evacuation_cascade(
+    seed: int, ctx: WorkloadContext, config: EvacuationConfig | None = None
+) -> WorkloadSchedule:
+    """Regional evacuation cascade: drain one site onto the others,
+    then the next, the waves overlapping."""
+    config = config or EvacuationConfig()
+    rng = _rng("evacuation_cascade", seed)
+    order = list(range(ctx.num_sites))
+    rng.shuffle(order)
+    evacuated = order[: max(1, min(config.sites_evacuated, ctx.num_sites - 1))]
+    survivors = [s for s in range(ctx.num_sites) if s not in evacuated]
+    ops: list[WorkloadOp] = []
+    start = rng.uniform(0.15, 0.3) * config.duration_s
+    serial = 0
+    for wave, site in enumerate(evacuated):
+        wave_start = start + wave * 0.6 * config.wave_s
+        homed = [
+            i for i in range(ctx.num_base_chains) if i % ctx.num_sites == site
+        ]
+        for k, i in enumerate(homed):
+            at = wave_start + config.wave_s * (k + 1) / (len(homed) + 1)
+            ops.append(
+                WorkloadOp(at=at, op="remove", chain=ctx.base_chain(i))
+            )
+            refuge = rng.choice(survivors)
+            egress = rng.choice(
+                [s for s in range(ctx.num_sites) if s != refuge]
+            )
+            ops.append(
+                WorkloadOp(
+                    at=at + 0.5, op="create",
+                    chain=f"wl-evac-{serial}",
+                    ingress=refuge, egress=egress,
+                    stages=1 + rng.randrange(ctx.max_stages),
+                    value=round(ctx.base_demand, 6),
+                )
+            )
+            serial += 1
+    return WorkloadSchedule(
+        kind="evacuation_cascade", seed=seed, duration_s=config.duration_s,
+        ops=ops,
+    )
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    duration_s: float = 24.0
+    arrivals: int = 10
+    min_life_s: float = 2.0
+    max_life_s: float = 8.0
+    demand_factor: float = 0.4      # CPE chains are small
+
+
+def site_churn(
+    seed: int, ctx: WorkloadContext, config: ChurnConfig | None = None
+) -> WorkloadSchedule:
+    """Mobile-CPE site churn: short-lived small chains arriving and
+    departing at random sites throughout the run."""
+    config = config or ChurnConfig()
+    rng = _rng("site_churn", seed)
+    ops: list[WorkloadOp] = []
+    for i in range(config.arrivals):
+        born = rng.uniform(0.05, 0.8) * config.duration_s
+        life = rng.uniform(config.min_life_s, config.max_life_s)
+        died = min(born + life, 0.95 * config.duration_s)
+        ingress, egress = _pick_pair(rng, ctx)
+        name = f"wl-cpe-{i}"
+        ops.append(
+            WorkloadOp(
+                at=born, op="create", chain=name,
+                ingress=ingress, egress=egress, stages=1,
+                value=round(config.demand_factor * ctx.base_demand, 6),
+            )
+        )
+        ops.append(WorkloadOp(at=died, op="remove", chain=name))
+    return WorkloadSchedule(
+        kind="site_churn", seed=seed, duration_s=config.duration_s, ops=ops
+    )
+
+
+@dataclass(frozen=True)
+class ZipfConfig:
+    duration_s: float = 24.0
+    tenants: int = 5
+    chains: int = 12
+    alpha: float = 1.1
+    remove_share: float = 0.25
+
+
+def zipf_mix(
+    seed: int, ctx: WorkloadContext, config: ZipfConfig | None = None
+) -> WorkloadSchedule:
+    """Multi-tenant Zipf chain mix: tenant ``t`` gets a
+    ``1/(t+1)^alpha`` share of chains and demand, with a tail of
+    removals late in the run."""
+    config = config or ZipfConfig()
+    rng = _rng("zipf_mix", seed)
+    weights = [1.0 / (t + 1) ** config.alpha for t in range(config.tenants)]
+    total = sum(weights)
+    shares = [w / total for w in weights]
+    ops: list[WorkloadOp] = []
+    created: list[str] = []
+    for i in range(config.chains):
+        tenant = rng.choices(range(config.tenants), weights=shares)[0]
+        born = rng.uniform(0.05, 0.7) * config.duration_s
+        ingress, egress = _pick_pair(rng, ctx)
+        name = f"wl-zipf-t{tenant}-{i}"
+        demand = ctx.base_demand * (0.3 + 2.0 * shares[tenant])
+        ops.append(
+            WorkloadOp(
+                at=born, op="create", chain=name,
+                ingress=ingress, egress=egress,
+                stages=1 + (tenant % ctx.max_stages),
+                value=round(demand, 6),
+            )
+        )
+        created.append(name)
+    removals = int(config.remove_share * len(created))
+    for name in rng.sample(created, removals):
+        at = rng.uniform(0.75, 0.95) * config.duration_s
+        ops.append(WorkloadOp(at=at, op="remove", chain=name))
+    return WorkloadSchedule(
+        kind="zipf_mix", seed=seed, duration_s=config.duration_s, ops=ops
+    )
+
+
+@dataclass(frozen=True)
+class AdversarialConfig:
+    duration_s: float = 24.0
+    hostile_chains: int = 5
+    surge_factor: float = 2.0       # simultaneous base-population surge
+    overload_factor: float = 2.5    # hostile demand vs base
+
+
+def adversarial_matrix(
+    seed: int, ctx: WorkloadContext, config: AdversarialConfig | None = None
+) -> WorkloadSchedule:
+    """Adversarial worst-case matrix: concentrate everything.
+
+    All hostile creates target one site pair with maximal chain length
+    and over-capacity demands, arriving back to back, while the whole
+    base population surges at the same instant -- the schedule is built
+    to pin admission and capacity accounting to their boundaries (the
+    invariants must hold even while most of it is being rejected).
+    """
+    config = config or AdversarialConfig()
+    rng = _rng("adversarial_matrix", seed)
+    ingress, egress = _pick_pair(rng, ctx)
+    surge_at = rng.uniform(0.3, 0.5) * config.duration_s
+    ops: list[WorkloadOp] = [
+        WorkloadOp(
+            at=surge_at, op="redemand", chain=ctx.base_chain(i),
+            value=config.surge_factor,
+        )
+        for i in range(ctx.num_base_chains)
+    ]
+    for i in range(config.hostile_chains):
+        at = surge_at + 0.5 + 0.25 * i
+        ops.append(
+            WorkloadOp(
+                at=at, op="create", chain=f"wl-adv-{i}",
+                ingress=ingress, egress=egress, stages=ctx.max_stages,
+                value=round(config.overload_factor * ctx.base_demand, 6),
+            )
+        )
+    # Relax late so the run can settle back under capacity.
+    relax_at = min(surge_at + 0.35 * config.duration_s,
+                   0.9 * config.duration_s)
+    for i in range(ctx.num_base_chains):
+        ops.append(
+            WorkloadOp(
+                at=relax_at, op="redemand", chain=ctx.base_chain(i),
+                value=round(1.0 / config.surge_factor, 6),
+            )
+        )
+    return WorkloadSchedule(
+        kind="adversarial_matrix", seed=seed, duration_s=config.duration_s,
+        ops=ops,
+    )
+
+
+#: Scenario kind -> default-config generator, the registry the fuzzer
+#: samples from and ``--scenario`` resolves against.
+SCENARIO_KINDS: dict[
+    str, Callable[[int, WorkloadContext], WorkloadSchedule]
+] = {
+    "diurnal_wave": diurnal_wave,
+    "flash_crowd": flash_crowd,
+    "evacuation_cascade": evacuation_cascade,
+    "site_churn": site_churn,
+    "zipf_mix": zipf_mix,
+    "adversarial_matrix": adversarial_matrix,
+}
+
+#: Scenario kind -> its config dataclass (all share ``duration_s``).
+SCENARIO_CONFIGS: dict[str, type] = {
+    "diurnal_wave": DiurnalConfig,
+    "flash_crowd": FlashCrowdConfig,
+    "evacuation_cascade": EvacuationConfig,
+    "site_churn": ChurnConfig,
+    "zipf_mix": ZipfConfig,
+    "adversarial_matrix": AdversarialConfig,
+}
+
+
+def generate(
+    kind: str,
+    seed: int,
+    ctx: WorkloadContext | None = None,
+    duration_s: float | None = None,
+) -> WorkloadSchedule:
+    """Generate one library scenario by kind name."""
+    try:
+        factory = SCENARIO_KINDS[kind]
+    except KeyError:
+        raise ScheduleError(
+            f"unknown scenario kind {kind!r} "
+            f"(have: {', '.join(sorted(SCENARIO_KINDS))})"
+        ) from None
+    config = None
+    if duration_s is not None:
+        config = SCENARIO_CONFIGS[kind](duration_s=duration_s)
+    return factory(seed, ctx or WorkloadContext(), config)

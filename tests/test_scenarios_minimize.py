@@ -1,0 +1,61 @@
+"""Delta debugging: ddmin must shrink deterministically and never lie."""
+
+import pytest
+
+from repro.scenarios import MinimizeResult, ddmin
+
+
+class TestDdmin:
+    def test_single_culprit_shrinks_to_one(self):
+        items = list(range(40))
+        result = ddmin(items, lambda subset: 17 in subset)
+        assert result.items == [17]
+        assert result.one_minimal
+
+    def test_pair_culprit_shrinks_to_two(self):
+        items = list(range(32))
+        result = ddmin(items, lambda s: 3 in s and 29 in s)
+        assert result.items == [3, 29]
+        assert result.one_minimal
+
+    def test_order_preserved(self):
+        items = ["a", "b", "c", "d", "e", "f"]
+        result = ddmin(items, lambda s: "b" in s and "e" in s)
+        assert result.items == ["b", "e"]
+
+    def test_non_violating_input_raises(self):
+        with pytest.raises(ValueError):
+            ddmin([1, 2, 3], lambda s: False)
+
+    def test_deterministic(self):
+        items = list(range(50))
+
+        def violates(subset):
+            return sum(subset) >= 100 and 7 in subset
+
+        a = ddmin(items, violates)
+        b = ddmin(items, violates)
+        assert a.items == b.items
+        assert a.tests_run == b.tests_run
+
+    def test_budget_respected(self):
+        items = list(range(64))
+        result = ddmin(items, lambda s: 63 in s, max_tests=5)
+        assert result.tests_run <= 5
+        assert 63 in result.items  # still violating, just not minimal
+
+    def test_everything_needed_stays(self):
+        items = [1, 2, 3]
+        result = ddmin(items, lambda s: s == [1, 2, 3])
+        assert result.items == [1, 2, 3]
+
+    def test_reduction_metric(self):
+        result = MinimizeResult(items=[1], original_length=20,
+                                tests_run=9, one_minimal=True)
+        assert result.length == 1
+        assert result.reduction == pytest.approx(0.95)
+
+    def test_empty_violation_allowed_to_shrink_to_single(self):
+        # A predicate violated by any non-empty prefix chunk.
+        result = ddmin(list(range(16)), lambda s: len(s) >= 1)
+        assert len(result.items) == 1
